@@ -1,0 +1,60 @@
+"""Benchmark of the individual IS conditions of **Figure 3**.
+
+Measures the cost of each verification condition (abs, I1, I2, I3, LM, CO)
+separately on broadcast consensus — the analogue of CIVL's fine-grained
+decomposition into one Boogie procedure per check, which enables targeted
+error messages (Section 5.1).
+"""
+
+import pytest
+
+from repro.protocols import broadcast
+
+
+@pytest.fixture(scope="module")
+def setup():
+    n = 3
+    application = broadcast.make_sequentialization(n)
+    universe = broadcast.make_universe(application.program, n)
+    return application, universe
+
+
+def test_condition_abs(benchmark, setup):
+    application, universe = setup
+    results = benchmark(lambda: application.check_abstractions(universe))
+    assert all(r.holds for r in results.values())
+
+
+def test_condition_i1(benchmark, setup):
+    application, universe = setup
+    assert benchmark(lambda: application.check_i1(universe)).holds
+
+
+def test_condition_i2(benchmark, setup):
+    application, universe = setup
+    assert benchmark(lambda: application.check_i2(universe)).holds
+
+
+def test_condition_i3(benchmark, setup):
+    application, universe = setup
+    assert benchmark(lambda: application.check_i3(universe)).holds
+
+
+def test_condition_lm(benchmark, setup):
+    application, universe = setup
+    results = benchmark(lambda: application.check_lm(universe))
+    assert all(r.holds for r in results.values())
+
+
+def test_condition_co(benchmark, setup):
+    application, universe = setup
+    assert benchmark(lambda: application.check_co(universe)).holds
+
+
+def test_universe_construction(benchmark, setup):
+    """The reachability pass that replaces CIVL's symbolic frame."""
+    application, _ = setup
+    universe = benchmark(
+        lambda: broadcast.make_universe(application.program, 3)
+    )
+    assert universe.globals_

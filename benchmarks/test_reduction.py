@@ -1,0 +1,50 @@
+"""Benchmark of the reduction layer (Section 2.1 / the P1 ≼ P2 step):
+mover-type inference and the atomicity pattern check on the fine-grained
+broadcast implementation of Figure 1-①."""
+
+import pytest
+
+from repro.core import EMPTY_STORE, initial_config
+from repro.lang import build_finegrained, summarize_module
+from repro.protocols import broadcast
+from repro.reduction import analyze_module, check_layer_refinement
+
+
+@pytest.fixture(scope="module")
+def module_setup():
+    n = 2
+    module = broadcast.make_module(n)
+    g0 = broadcast.initial_global(n)
+    init = initial_config(g0, module.initial_main_locals())
+    return module, g0, init
+
+
+def test_mover_inference_and_pattern(benchmark, module_setup):
+    module, _g0, init = module_setup
+    analysis = benchmark.pedantic(
+        lambda: analyze_module(module, [init]), rounds=1, iterations=1
+    )
+    assert analysis.sound
+
+
+def test_summarization(benchmark, module_setup):
+    module, g0, _init = module_setup
+    program = benchmark(lambda: summarize_module(module))
+    assert "Broadcast" in program
+
+
+def test_layer_refinement_oracle(benchmark, module_setup):
+    module, g0, init = module_setup
+    p1 = build_finegrained(module)
+    p2 = broadcast.make_atomic(2)
+    check = benchmark.pedantic(
+        lambda: check_layer_refinement(
+            p1,
+            p2,
+            [(g0, module.initial_main_locals(), EMPTY_STORE)],
+            hidden_vars=("pendingAsyncs",),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert check.holds

@@ -1,0 +1,70 @@
+"""Benchmark of the execution-rewriting engine (**Figure 2** made
+operational): the cost of turning concurrent executions into certified
+sequential ones, as a function of how adversarial the schedule is."""
+
+import random
+
+import pytest
+
+from repro.core import initial_config, random_execution, terminating_executions
+from repro.engine import rewrite_execution
+from repro.protocols import broadcast, pingpong
+
+
+@pytest.fixture(scope="module")
+def broadcast_setup():
+    n = 3
+    application = broadcast.make_sequentialization(n)
+    init = initial_config(broadcast.initial_global(n))
+    rng = random.Random(23)
+    executions = []
+    while len(executions) < 10:
+        execution = random_execution(application.program, init, rng)
+        if execution.terminating:
+            executions.append(execution)
+    return application, executions
+
+
+def test_rewrite_random_broadcast_executions(benchmark, broadcast_setup):
+    application, executions = broadcast_setup
+
+    def rewrite_all():
+        return [rewrite_execution(application, e) for e in executions]
+
+    results = benchmark(rewrite_all)
+    assert all(
+        r.execution.final == e.final for r, e in zip(results, executions)
+    )
+
+
+def test_rewrite_worst_case_schedule(benchmark, broadcast_setup):
+    """The schedule most out-of-order w.r.t. the target sequentialization
+    (max left-mover swaps) among enumerated interleavings."""
+    application, _ = broadcast_setup
+    init = initial_config(broadcast.initial_global(3))
+    worst, worst_swaps = None, -1
+    for execution in terminating_executions(application.program, init, limit=40):
+        result = rewrite_execution(application, execution)
+        if result.stats.swaps > worst_swaps:
+            worst, worst_swaps = execution, result.stats.swaps
+    result = benchmark(lambda: rewrite_execution(application, worst))
+    assert result.stats.swaps == worst_swaps
+
+
+def test_rewrite_pingpong_chain(benchmark):
+    """Ping-Pong's transitively-spawned chain: absorption order must follow
+    rounds even though the PAs are created on the fly."""
+    application = pingpong.make_sequentialization(3)
+    init = initial_config(pingpong.initial_global(3))
+    rng = random.Random(5)
+    executions = []
+    while len(executions) < 5:
+        execution = random_execution(application.program, init, rng)
+        if execution.terminating:
+            executions.append(execution)
+
+    def rewrite_all():
+        return [rewrite_execution(application, e) for e in executions]
+
+    results = benchmark(rewrite_all)
+    assert all(len(r.execution.steps) == 1 for r in results)

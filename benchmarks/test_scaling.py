@@ -1,0 +1,76 @@
+"""Scaling ablation: IS-condition checking vs. whole-state-space baselines.
+
+Not a paper table — an ablation supporting the paper's motivation: the
+sequentialization collapses the interleaving space. We measure, as the
+instance grows, (a) the reachable configuration counts of the concurrent
+program vs. its sequentialization, and (b) the time to discharge the IS
+conditions vs. exhaustively model-checking the concurrent program.
+"""
+
+import time
+
+import pytest
+
+from repro.core import explore, initial_config
+from repro.protocols import broadcast, prodcons
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_broadcast_is_check_scaling(benchmark, n):
+    application = broadcast.make_sequentialization(n)
+    universe = broadcast.make_universe(application.program, n)
+    result = benchmark.pedantic(
+        lambda: application.check(universe), rounds=1, iterations=1
+    )
+    assert result.holds
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_broadcast_exhaustive_baseline_scaling(benchmark, n):
+    program = broadcast.make_atomic(n)
+    init = initial_config(broadcast.initial_global(n))
+    result = benchmark.pedantic(
+        lambda: explore(program, [init]), rounds=1, iterations=1
+    )
+    assert not result.can_fail
+
+
+@pytest.mark.parametrize("bound", [2, 4, 6])
+def test_prodcons_interleaving_collapse(benchmark, bound):
+    """Configurations of the concurrent program vs. its sequentialization:
+    the concurrent count grows with the bound, the sequential one is O(1)."""
+    concurrent = prodcons.make_atomic(bound)
+    sequential = prodcons.make_sequentialization(bound).apply_and_drop()
+    init = initial_config(prodcons.initial_global(bound))
+
+    def measure():
+        conc = explore(concurrent, [init]).num_configs
+        seq = explore(sequential, [init]).num_configs
+        return conc, seq
+
+    conc, seq = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nbound={bound}: concurrent configs={conc}, sequentialized={seq}")
+    assert seq <= 3
+    assert conc > seq
+
+
+def test_zz_crossover_summary(benchmark):
+    """Print the scaling series (the 'figure' of this ablation)."""
+    lines = ["broadcast consensus scaling (configs, concurrent vs sequentialized):"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for n in (2, 3, 4):
+        program = broadcast.make_atomic(n)
+        init = initial_config(broadcast.initial_global(n))
+        start = time.perf_counter()
+        conc = explore(program, [init]).num_configs
+        conc_t = time.perf_counter() - start
+        application = broadcast.make_sequentialization(n)
+        sequential = application.apply_and_drop()
+        start = time.perf_counter()
+        seq = explore(sequential, [init]).num_configs
+        seq_t = time.perf_counter() - start
+        lines.append(
+            f"  n={n}: concurrent {conc:>6} ({conc_t:.3f}s)   "
+            f"sequentialized {seq:>3} ({seq_t:.3f}s)"
+        )
+    print("\n" + "\n".join(lines))

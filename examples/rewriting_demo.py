@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The soundness argument of Figure 2, executed step by step.
+
+Samples a random concurrent execution of the broadcast consensus protocol
+and rewrites it — exactly as in the proof of Lemmas 4.2/4.3 — into the
+single sequential ``Main'`` step: replace ``Main`` by the invariant action,
+repeatedly pick the choice function's pending async, substitute its
+left-mover abstraction, commute it to the front, absorb it into the
+invariant transition. Every intermediate step is validated against the
+concrete semantics, so the output is a machine-checked certificate.
+
+Usage: python examples/rewriting_demo.py [n] [seed]
+"""
+
+import random
+import sys
+
+from repro.core import initial_config, random_execution
+from repro.engine import rewrite_execution
+from repro.protocols import broadcast
+
+
+def describe(execution) -> str:
+    return " ; ".join(repr(step.executed) for step in execution.steps)
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+    rng = random.Random(seed)
+
+    application = broadcast.make_sequentialization(n)
+    init = initial_config(broadcast.initial_global(n))
+
+    execution = random_execution(application.program, init, rng)
+    while not execution.terminating:
+        execution = random_execution(application.program, init, rng)
+
+    print(f"concurrent execution ({len(execution.steps)} steps):")
+    print(" ", describe(execution), "\n")
+
+    result = rewrite_execution(application, execution)
+    print("rewriting (Figure 2):")
+    print(f"  pending asyncs absorbed : {result.stats.absorbed}")
+    print(f"  absorption order        : "
+          f"{[repr(p) for p in result.stats.absorbed_actions]}")
+    print(f"  left-mover swaps        : {result.stats.swaps}\n")
+
+    print(f"sequentialized execution ({len(result.execution.steps)} step):")
+    print(" ", describe(result.execution))
+    assert result.execution.final == execution.final
+    decisions = dict(result.execution.final.glob["decision"].items())
+    print("\nidentical final configuration; decisions =", decisions)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

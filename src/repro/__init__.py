@@ -1,0 +1,33 @@
+"""repro — Inductive Sequentialization of Asynchronous Programs (PLDI 2020).
+
+A from-scratch Python reproduction of the IS proof rule of Kragl, Enea,
+Henzinger, Mutluergil, and Qadeer, together with the surrounding CIVL-style
+verification substrate: gated atomic actions with pending asyncs, explicit-
+state refinement checking, Lipton reduction, a mini concurrent language, a
+constructive execution-rewriting engine (the soundness argument of Section
+4.1 as running code), and all seven case-study protocols of Table 1.
+
+Quick start::
+
+    from repro.protocols import broadcast
+    report = broadcast.verify(n=3)
+    assert report.ok
+
+See README.md, DESIGN.md, and EXPERIMENTS.md at the repository root.
+"""
+
+__version__ = "1.0.0"
+
+from . import analysis, core, engine, invariants, lang, logic, protocols, reduction
+
+__all__ = [
+    "analysis",
+    "core",
+    "engine",
+    "invariants",
+    "lang",
+    "logic",
+    "protocols",
+    "reduction",
+    "__version__",
+]

@@ -1,0 +1,72 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``table1``
+    Regenerate the Table 1 analogue (runs all seven verifications).
+``verify <protocol>``
+    Run one protocol's pipeline at its default instance parameters and
+    print the report. Protocols: broadcast, pingpong, prodcons, nbuyer,
+    changroberts, twophase, paxos.
+``list``
+    List the available protocols with their Table 1 #IS counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_table1(_args) -> int:
+    from .analysis import build_table1, render_table1
+
+    rows = build_table1()
+    print(render_table1(rows))
+    return 0 if all(row.ok for row in rows) else 1
+
+
+def _cmd_verify(args) -> int:
+    from .protocols import ALL_PROTOCOLS
+
+    module = ALL_PROTOCOLS.get(args.protocol)
+    if module is None:
+        print(f"unknown protocol {args.protocol!r}; try: "
+              f"{', '.join(sorted(ALL_PROTOCOLS))}", file=sys.stderr)
+        return 2
+    report = module.verify()
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_list(_args) -> int:
+    from .protocols import ALL_PROTOCOLS
+
+    counts = {
+        "broadcast": 2, "pingpong": 1, "prodcons": 1, "nbuyer": 4,
+        "changroberts": 2, "twophase": 4, "paxos": 1,
+    }
+    for name in sorted(ALL_PROTOCOLS):
+        print(f"  {name:<14} (#IS = {counts[name]})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Inductive Sequentialization of Asynchronous Programs "
+        "(PLDI 2020) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="regenerate the Table 1 analogue")
+    verify = sub.add_parser("verify", help="verify one protocol")
+    verify.add_argument("protocol")
+    sub.add_parser("list", help="list protocols")
+    args = parser.parse_args(argv)
+    return {"table1": _cmd_table1, "verify": _cmd_verify, "list": _cmd_list}[
+        args.command
+    ](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

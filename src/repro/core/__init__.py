@@ -1,0 +1,151 @@
+"""Core formalization: actions, programs, semantics, movers, and the IS rule.
+
+This package implements Sections 3 and 4 of *Inductive Sequentialization of
+Asynchronous Programs* (PLDI 2020): stores, gated atomic actions with
+pending asyncs, the operational semantics of configurations, refinement
+(Definitions 3.1/3.2), left/right movers, well-founded measures, and the IS
+proof rule of Figure 3.
+"""
+
+from .action import (
+    Action,
+    PendingAsync,
+    Transition,
+    assert_action,
+    havoc_action,
+    pa,
+    pas,
+    skip_action,
+    transition,
+)
+from .explore import (
+    ExplorationBudgetExceeded,
+    ExplorationResult,
+    InstanceSummary,
+    explore,
+    good_and_trans,
+    instance_summary,
+    random_execution,
+    reachable_globals,
+    terminating_executions,
+)
+from .context import GhostContext, InstanceContext, NoContext, PAContext
+from .mapping import FrozenDict
+from .movers import (
+    MoverOracle,
+    MoverType,
+    infer_mover_type,
+    is_left_mover,
+    is_left_mover_wrt_program,
+    is_right_mover,
+    left_mover_conditions,
+)
+from .multiset import EMPTY, Multiset
+from .program import MAIN, Program
+from .refinement import (
+    CheckResult,
+    check_action_refinement,
+    check_program_refinement,
+)
+from .semantics import (
+    Config,
+    Execution,
+    FAILURE,
+    Failure,
+    Step,
+    initial_config,
+    steps_from,
+)
+from .schedule import (
+    PolicyFn,
+    ScheduleError,
+    choice_from_policy,
+    invariant_from_policy,
+    policy_by_key,
+)
+from .sequentialize import (
+    ChoiceFn,
+    ISApplication,
+    ISResult,
+    choice_by_priority,
+    derive_m_prime,
+    pas_to,
+)
+from .store import EMPTY_STORE, Store, combine
+from .universe import StoreUniverse
+from .wellfounded import (
+    LexicographicMeasure,
+    channel_size,
+    global_counter,
+    pa_count,
+    pa_potential,
+    total_pa_count,
+)
+
+__all__ = [
+    "Action",
+    "PendingAsync",
+    "Transition",
+    "assert_action",
+    "havoc_action",
+    "pa",
+    "pas",
+    "skip_action",
+    "transition",
+    "ExplorationBudgetExceeded",
+    "ExplorationResult",
+    "InstanceSummary",
+    "explore",
+    "good_and_trans",
+    "instance_summary",
+    "random_execution",
+    "reachable_globals",
+    "terminating_executions",
+    "GhostContext",
+    "InstanceContext",
+    "NoContext",
+    "PAContext",
+    "FrozenDict",
+    "MoverOracle",
+    "MoverType",
+    "infer_mover_type",
+    "is_left_mover",
+    "is_left_mover_wrt_program",
+    "is_right_mover",
+    "left_mover_conditions",
+    "EMPTY",
+    "Multiset",
+    "MAIN",
+    "Program",
+    "CheckResult",
+    "check_action_refinement",
+    "check_program_refinement",
+    "Config",
+    "Execution",
+    "FAILURE",
+    "Failure",
+    "Step",
+    "initial_config",
+    "steps_from",
+    "PolicyFn",
+    "ScheduleError",
+    "choice_from_policy",
+    "invariant_from_policy",
+    "policy_by_key",
+    "ChoiceFn",
+    "ISApplication",
+    "ISResult",
+    "choice_by_priority",
+    "derive_m_prime",
+    "pas_to",
+    "EMPTY_STORE",
+    "Store",
+    "combine",
+    "StoreUniverse",
+    "LexicographicMeasure",
+    "channel_size",
+    "global_counter",
+    "pa_count",
+    "pa_potential",
+    "total_pa_count",
+]

@@ -1,0 +1,89 @@
+"""Programs: finite maps from action names to gated atomic actions.
+
+Per Section 3 of the paper, a program :math:`\\mathcal{P}` maps action names
+to actions and must contain the dedicated name ``Main``; execution starts
+from a configuration with a single pending async to ``Main``.
+
+On top of the formal content, :class:`Program` records the list of *global
+variables*, which lets actions and the exploration engine project the global
+part out of a combined store (the paper keeps this projection implicit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Sequence, Tuple
+
+from .action import Action, PendingAsync
+from .store import Store
+
+__all__ = ["Program", "MAIN"]
+
+#: The dedicated entry-point action name required in every program.
+MAIN = "Main"
+
+
+class Program:
+    """An immutable program: action names to actions, plus global variables.
+
+    >>> prog = Program({"Main": some_action}, global_vars=("x",))
+    >>> prog["Main"] is some_action
+    True
+    >>> prog.with_action("Main", other) is prog
+    False
+    """
+
+    __slots__ = ("_actions", "_global_vars")
+
+    def __init__(
+        self,
+        actions: Mapping[str, Action],
+        global_vars: Sequence[str] = (),
+        require_main: bool = True,
+    ):
+        if require_main and MAIN not in actions:
+            raise ValueError(f"program must contain the action name {MAIN!r}")
+        self._actions: Dict[str, Action] = dict(actions)
+        self._global_vars: Tuple[str, ...] = tuple(global_vars)
+
+    @property
+    def global_vars(self) -> Tuple[str, ...]:
+        return self._global_vars
+
+    def globals_of(self, state: Store) -> Store:
+        """Project the global part out of a combined store."""
+        return state.restrict(self._global_vars)
+
+    def action_names(self) -> Iterator[str]:
+        return iter(self._actions)
+
+    def actions(self) -> Iterator[Tuple[str, Action]]:
+        return iter(self._actions.items())
+
+    def with_action(self, name: str, action: Action) -> "Program":
+        """The paper's :math:`\\mathcal{P}[A \\mapsto a]` substitution."""
+        actions = dict(self._actions)
+        actions[name] = action
+        return Program(actions, self._global_vars, require_main=False)
+
+    def without_actions(self, names: Sequence[str]) -> "Program":
+        """Drop actions (used after IS eliminates a set of action names)."""
+        drop = set(names)
+        actions = {k: v for k, v in self._actions.items() if k not in drop}
+        return Program(actions, self._global_vars, require_main=False)
+
+    def lookup(self, pending: PendingAsync) -> Action:
+        """The action a pending async refers to."""
+        return self._actions[pending.action]
+
+    def __getitem__(self, name: str) -> Action:
+        return self._actions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._actions
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __repr__(self) -> str:
+        names = ", ".join(sorted(self._actions))
+        return f"Program([{names}]; globals={list(self._global_vars)})"

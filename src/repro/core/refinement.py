@@ -1,0 +1,137 @@
+"""Refinement between actions and between programs (Definitions 3.1/3.2).
+
+*Action refinement* :math:`a_1 \\preccurlyeq a_2` requires
+
+1. :math:`\\rho_2 \\subseteq \\rho_1` — the abstraction fails at least as
+   often as the concrete action, and
+2. :math:`\\rho_2 \\circ \\tau_1 \\subseteq \\tau_2` — on stores where the
+   abstraction does not fail, every concrete transition is an abstract one.
+
+*Program refinement* :math:`\\mathcal{P}_1 \\preccurlyeq \\mathcal{P}_2`
+requires :math:`Good(\\mathcal{P}_2) \\subseteq Good(\\mathcal{P}_1)` and
+:math:`Good(\\mathcal{P}_2) \\circ Trans(\\mathcal{P}_1) \\subseteq
+Trans(\\mathcal{P}_2)`.
+
+Both are checked exhaustively over a finite domain: a
+:class:`~repro.core.universe.StoreUniverse` for actions, a finite family of
+initial stores for programs. A failed check carries a concrete
+counterexample, playing the role of an SMT model in CIVL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from .action import Action
+from .explore import good_and_trans
+from .program import Program
+from .store import Store, combine
+from .universe import StoreUniverse
+
+__all__ = [
+    "CheckResult",
+    "check_action_refinement",
+    "check_program_refinement",
+]
+
+
+@dataclass
+class CheckResult:
+    """Outcome of an exhaustive check; ``holds`` plus counterexamples.
+
+    ``counterexamples`` is a list of human-readable descriptions paired with
+    the offending objects; diagnostics only (tests match on ``holds``).
+    """
+
+    name: str
+    holds: bool
+    counterexamples: List[Tuple[str, object]] = field(default_factory=list)
+    checked: int = 0
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __repr__(self) -> str:
+        status = "PASS" if self.holds else "FAIL"
+        extra = f", {len(self.counterexamples)} counterexamples" if not self.holds else ""
+        return f"CheckResult({self.name}: {status}, {self.checked} checked{extra})"
+
+
+def _fail(result: CheckResult, description: str, witness: object, keep: int = 5) -> None:
+    result.holds = False
+    if len(result.counterexamples) < keep:
+        result.counterexamples.append((description, witness))
+
+
+def check_action_refinement(
+    concrete: Action,
+    abstract: Action,
+    universe: StoreUniverse,
+    name: Optional[str] = None,
+    pa_name: Optional[str] = None,
+) -> CheckResult:
+    """Check :math:`concrete \\preccurlyeq abstract` over a store universe.
+
+    The two actions are compared on the *same* combined stores, enumerated
+    from the universe's locals for the concrete action (an abstraction in
+    the paper always has the same parameter signature as the action it
+    abstracts). When ``pa_name`` is given, only stores where a PA of that
+    name could be scheduled (per the universe's PA context) are considered.
+    """
+    result = CheckResult(name or f"{concrete.name} ≼ {abstract.name}", True)
+    for g, l, state in universe.combined(concrete.name):
+        if pa_name is not None and not universe.single_ok(g, pa_name, l):
+            continue
+        result.checked += 1
+        abstract_ok = abstract.gate(state)
+        concrete_ok = concrete.gate(state)
+        # Condition (1): ρ2 ⊆ ρ1.
+        if abstract_ok and not concrete_ok:
+            _fail(result, "abstract gate holds where concrete gate fails", state)
+            continue
+        if not abstract_ok:
+            # ρ2 ◦ τ1 is empty here; nothing to check.
+            continue
+        # Condition (2): ρ2 ◦ τ1 ⊆ τ2.
+        abstract_outcomes = set(abstract.outcomes(state))
+        for tr in concrete.transitions(state):
+            if tr not in abstract_outcomes:
+                _fail(
+                    result,
+                    "concrete transition missing from abstraction",
+                    (state, tr),
+                )
+    return result
+
+
+def check_program_refinement(
+    concrete: Program,
+    abstract: Program,
+    initial_stores: Iterable[Tuple[Store, Store]],
+    max_configs: Optional[int] = None,
+    name: str = "program refinement",
+) -> CheckResult:
+    """Check :math:`concrete \\preccurlyeq abstract` on given initial stores.
+
+    ``initial_stores`` yields ``(global, main-local)`` pairs; both programs
+    are explored exhaustively from each. This is the ground-truth oracle the
+    IS rule is validated against in the test suite.
+    """
+    pairs = list(initial_stores)
+    good1, trans1 = good_and_trans(concrete, pairs, max_configs=max_configs)
+    good2, trans2 = good_and_trans(abstract, pairs, max_configs=max_configs)
+
+    result = CheckResult(name, True, checked=len(pairs))
+    for g, l in pairs:
+        sigma = combine(g, l)
+        if sigma in good2 and sigma not in good1:
+            _fail(result, "Good(abstract) not included in Good(concrete)", sigma)
+    for sigma, final in trans1:
+        if sigma in good2 and (sigma, final) not in trans2:
+            _fail(
+                result,
+                "terminating behaviour of concrete not reproduced by abstract",
+                (sigma, final),
+            )
+    return result

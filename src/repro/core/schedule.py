@@ -1,0 +1,152 @@
+"""Policy-driven sequentializations: deriving IS artifacts from a schedule.
+
+Section 5.2 of the paper observes that *"the main creative task is the
+invention of the sequentialization, while all required proof artifacts are
+derived from it: the invariant action and the choice function are
+determined from partial sequential executions, and M' summarizes completed
+sequential executions."*
+
+This module turns that observation into a construction. A **policy** is a
+function from the current (global store, pending multiset) to the pending
+async that the idealized sequential schedule executes next (``None`` when
+the schedule is complete). From a policy we derive
+
+* the **invariant action** (:func:`invariant_from_policy`): all prefixes of
+  the policy-driven sequential execution, each prefix's still-pending PAs
+  becoming the transition's created PAs — exactly the shape of ``Inv`` in
+  Figure 1-⑤ and ``PaxosInv`` in Figure 4(c);
+* the **choice function** (:func:`choice_from_policy`): apply the policy to
+  the transition's endpoint;
+* ``M'`` comes for free as the invariant's complete (E-free) transitions.
+
+Most protocols use :func:`policy_by_key`: order the pending PAs by a
+per-protocol key (e.g. Paxos: round, then phase, then node) and always pick
+the minimum. The hand-written invariant of ``repro.protocols.broadcast``
+coexists with its policy-derived twin; an ablation benchmark confirms they
+induce the same sequentialization.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .action import Action, PendingAsync, Transition
+from .multiset import Multiset
+from .program import Program
+from .sequentialize import ChoiceFn
+from .store import Store, combine
+
+__all__ = [
+    "PolicyFn",
+    "ScheduleError",
+    "policy_by_key",
+    "invariant_from_policy",
+    "choice_from_policy",
+]
+
+#: A scheduling policy: which pending PA does the sequentialization run
+#: next from this (global store, pending multiset)? ``None`` = complete.
+PolicyFn = Callable[[Store, Multiset], Optional[PendingAsync]]
+
+
+class ScheduleError(RuntimeError):
+    """The policy selected a PA that is not pending, or diverged."""
+
+
+def policy_by_key(
+    eliminated: Iterable[str],
+    key: Callable[[Store, PendingAsync], Tuple],
+) -> PolicyFn:
+    """The min-key policy: among pending PAs to ``eliminated``, pick the one
+    with the smallest key (keys may read the global store, e.g. to order a
+    ring relative to the maximum-id node in Chang-Roberts)."""
+    names = set(eliminated)
+
+    def policy(global_store: Store, pending: Multiset) -> Optional[PendingAsync]:
+        candidates = [p for p in pending.support() if p.action in names]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda p: key(global_store, p))
+
+    return policy
+
+
+def _prefix_closure(
+    program: Program,
+    policy: PolicyFn,
+    start_global: Store,
+    start_pending: Multiset,
+    max_prefixes: int,
+) -> Iterator[Transition]:
+    """All states reachable by running the policy-driven schedule, each as a
+    transition (endpoint global store, still-pending PAs)."""
+    seen: Set[Transition] = set()
+    stack: List[Tuple[Store, Multiset]] = [(start_global, start_pending)]
+    while stack:
+        global_store, pending = stack.pop()
+        prefix = Transition(global_store, pending)
+        if prefix in seen:
+            continue
+        seen.add(prefix)
+        if len(seen) > max_prefixes:
+            raise ScheduleError(
+                f"policy produced more than {max_prefixes} prefixes "
+                f"(diverging schedule?)"
+            )
+        yield prefix
+        chosen = policy(global_store, pending)
+        if chosen is None:
+            continue
+        if chosen not in pending:
+            raise ScheduleError(f"policy selected non-pending PA {chosen!r}")
+        action = program[chosen.action]
+        state = combine(global_store, chosen.locals)
+        if not action.gate(state):
+            # The schedule would fail here; the prefix stays a dead end and
+            # the gate obligation resurfaces in condition I3.
+            continue
+        remaining = pending.remove(chosen)
+        for tr in action.transitions(state):
+            stack.append((tr.new_global, remaining.union(tr.created)))
+
+
+def invariant_from_policy(
+    program: Program,
+    m_name: str,
+    policy: PolicyFn,
+    name: str = "Inv",
+    max_prefixes: int = 200_000,
+) -> Action:
+    """The invariant action induced by a scheduling policy.
+
+    Its transitions from :math:`\\sigma` are: one transition of :math:`M`
+    (base case, hence I1 holds by construction) extended by every prefix of
+    the policy-driven sequential execution of the created PAs. The gate is
+    :math:`M`'s gate.
+    """
+    m_action = program[m_name]
+
+    def transitions(sigma: Store) -> Iterator[Transition]:
+        emitted: Set[Transition] = set()
+        for t0 in m_action.transitions(sigma):
+            for prefix in _prefix_closure(
+                program, policy, t0.new_global, t0.created, max_prefixes
+            ):
+                if prefix not in emitted:
+                    emitted.add(prefix)
+                    yield prefix
+
+    return Action(name, m_action.gate, transitions, m_action.params)
+
+
+def choice_from_policy(policy: PolicyFn) -> ChoiceFn:
+    """The IS choice function induced by a policy: applied to the endpoint
+    of an invariant transition."""
+
+    def choose(_sigma: Store, t: Transition) -> PendingAsync:
+        chosen = policy(t.new_global, t.created)
+        if chosen is None:
+            raise ValueError("choice called on a transition without PAs to E")
+        return chosen
+
+    return choose

@@ -1,0 +1,394 @@
+"""The Inductive Sequentialization proof rule (Figure 3).
+
+Given a program :math:`\\mathcal{P}`, a target action name :math:`M`, and a
+set of action names :math:`E` to eliminate, together with the user-invented
+artifacts
+
+* an **invariant action** :math:`I = (\\rho_I, \\tau_I)` summarizing all
+  prefixes of the chosen sequentialization,
+* a **choice function** :math:`f` selecting, from every transition of
+  :math:`I` that still creates PAs to :math:`E`, the single PA to
+  sequentialize next,
+* an **abstraction function** :math:`\\alpha` supplying a left-moving
+  abstraction for every action in :math:`E` (identity by default), and
+* a **well-founded order** :math:`\\gg` (a lexicographic measure),
+
+the rule concludes :math:`\\mathcal{P} \\preccurlyeq \\mathcal{P}[M \\mapsto
+M']`, where :math:`M'` is :math:`I` restricted to transitions with no
+remaining PAs to :math:`E`. The verification conditions are:
+
+* *(abs)* :math:`\\mathcal{P}(A) \\preccurlyeq \\alpha(A)` for all
+  :math:`A \\in E`;
+* *(I1)* :math:`M \\preccurlyeq I` — base case;
+* *(I2)* :math:`(\\rho_I, \\{t \\in \\tau_I \\mid PA_E(t) = \\emptyset\\})
+  \\preccurlyeq M'` — the completed sequentializations are summarized by
+  :math:`M'`;
+* *(I3)* — induction step: after any :math:`I`-transition, the gate of the
+  chosen PA's abstraction holds, and composing the transition with any step
+  of that abstraction stays inside :math:`\\tau_I`;
+* *(LM)* every :math:`\\alpha(A)` is a left mover w.r.t. the program;
+* *(CO)* cooperation: every abstraction can execute while strictly
+  decreasing the measure.
+
+All conditions are discharged by enumeration over a
+:class:`~repro.core.universe.StoreUniverse`; see DESIGN.md for the scope of
+this substitution for CIVL's SMT backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .action import Action, PendingAsync, Transition
+from .movers import is_left_mover_wrt_program
+from .multiset import Multiset
+from .program import Program
+from .refinement import CheckResult, _fail, check_action_refinement
+from .semantics import Config
+from .store import Store, combine
+from .universe import StoreUniverse
+from .wellfounded import LexicographicMeasure
+
+__all__ = [
+    "ChoiceFn",
+    "choice_by_priority",
+    "ISApplication",
+    "ISResult",
+    "pas_to",
+    "derive_m_prime",
+]
+
+#: A choice function: given the initial combined store of an I-transition
+#: and the transition itself, select one of its created PAs to E.
+ChoiceFn = Callable[[Store, Transition], PendingAsync]
+
+
+def pas_to(created: Multiset, eliminated: Iterable[str]) -> List[PendingAsync]:
+    """The paper's :math:`PA_E(t)`: PAs of a transition targeting ``E``."""
+    names = set(eliminated)
+    return [p for p in created for _ in [0] if p.action in names]
+
+
+def choice_by_priority(
+    eliminated: Sequence[str],
+    key: Optional[Callable[[PendingAsync], object]] = None,
+) -> ChoiceFn:
+    """A choice function selecting PAs by action priority, then by ``key``.
+
+    Actions earlier in ``eliminated`` are selected first; ties among PAs of
+    the same action are broken by ``key`` (default: sorted repr of the local
+    store). This captures the common pattern "eliminate all Broadcasts in
+    index order, then all Collects in index order".
+    """
+    priority = {name: i for i, name in enumerate(eliminated)}
+
+    def default_key(pending: PendingAsync) -> object:
+        return sorted(pending.locals.items())
+
+    tie_break = key or default_key
+
+    def choose(_sigma: Store, t: Transition) -> PendingAsync:
+        candidates = [p for p in t.created.support() if p.action in priority]
+        if not candidates:
+            raise ValueError("choice function called on transition without PAs to E")
+        return min(candidates, key=lambda p: (priority[p.action], tie_break(p)))
+
+    return choose
+
+
+def derive_m_prime(
+    invariant: Action,
+    eliminated: Sequence[str],
+    name: str = "M'",
+) -> Action:
+    """The canonical :math:`M'`: the invariant action restricted to
+    transitions that create no PAs to ``E``."""
+    names = set(eliminated)
+
+    def transitions_fn(state: Store):
+        for t in invariant.transitions(state):
+            if not any(p.action in names for p in t.created.support()):
+                yield t
+
+    return Action(name, invariant.gate, transitions_fn, invariant.params)
+
+
+@dataclass
+class ISResult:
+    """Outcome of checking all IS conditions; per-condition results."""
+
+    conditions: Dict[str, CheckResult] = field(default_factory=dict)
+
+    @property
+    def holds(self) -> bool:
+        return all(result.holds for result in self.conditions.values())
+
+    def failed(self) -> List[CheckResult]:
+        return [r for r in self.conditions.values() if not r.holds]
+
+    def report(self) -> str:
+        lines = []
+        for name, result in self.conditions.items():
+            status = "PASS" if result.holds else "FAIL"
+            lines.append(f"  [{status}] {name} ({result.checked} checks)")
+            for description, witness in result.counterexamples:
+                lines.append(f"         counterexample: {description}: {witness!r}")
+        verdict = "IS conditions hold" if self.holds else "IS conditions FAILED"
+        return verdict + "\n" + "\n".join(lines)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+    def __repr__(self) -> str:
+        status = "PASS" if self.holds else "FAIL"
+        return f"ISResult({status}, {len(self.conditions)} conditions)"
+
+
+@dataclass
+class ISApplication:
+    """One application of the IS rule: frame (P, M, E) plus proof artifacts.
+
+    Parameters
+    ----------
+    program:
+        The program :math:`\\mathcal{P}` being transformed.
+    m_name:
+        The action name :math:`M` whose PAs to ``E`` are eliminated
+        (not necessarily ``Main``).
+    eliminated:
+        The set :math:`E` of action names to eliminate, in *choice priority
+        order* when the default choice function is used.
+    invariant:
+        The invariant action :math:`I`, sharing :math:`M`'s parameters.
+    choice:
+        The choice function :math:`f`; defaults to
+        :func:`choice_by_priority` over ``eliminated``.
+    abstractions:
+        The abstraction function :math:`\\alpha` as a partial mapping;
+        actions of ``E`` not listed are not abstracted
+        (:math:`\\alpha(A) = \\mathcal{P}(A)`).
+    measure:
+        The well-founded order :math:`\\gg` as a lexicographic measure.
+    m_prime:
+        Optional user-supplied :math:`M'`; when omitted, the canonical
+        :math:`M'` (invariant minus transitions with PAs to ``E``) is used
+        and condition I2 holds by construction (still checked).
+    """
+
+    program: Program
+    m_name: str
+    eliminated: Tuple[str, ...]
+    invariant: Action
+    measure: LexicographicMeasure
+    choice: Optional[ChoiceFn] = None
+    abstractions: Mapping[str, Action] = field(default_factory=dict)
+    m_prime: Optional[Action] = None
+
+    def __post_init__(self) -> None:
+        self.eliminated = tuple(self.eliminated)
+        missing = [a for a in self.eliminated if a not in self.program]
+        if missing:
+            raise ValueError(f"eliminated actions not in program: {missing}")
+        if self.m_name not in self.program:
+            raise ValueError(f"action {self.m_name!r} not in program")
+        unknown = [a for a in self.abstractions if a not in self.eliminated]
+        if unknown:
+            raise ValueError(f"abstractions for actions outside E: {unknown}")
+        if self.choice is None:
+            self.choice = choice_by_priority(self.eliminated)
+        if self.m_prime is None:
+            self.m_prime = derive_m_prime(
+                self.invariant, self.eliminated, name=f"{self.m_name}'"
+            )
+
+    def abstraction_of(self, action_name: str) -> Action:
+        """:math:`\\alpha(A)` (identity on unlisted actions)."""
+        return self.abstractions.get(action_name, self.program[action_name])
+
+    # ------------------------------------------------------------------ #
+    # Condition checks
+    # ------------------------------------------------------------------ #
+
+    def check_abstractions(self, universe: StoreUniverse) -> Dict[str, CheckResult]:
+        """:math:`\\mathcal{P}(A) \\preccurlyeq \\alpha(A)` for all A ∈ E."""
+        results = {}
+        for name in self.eliminated:
+            if name in self.abstractions:
+                results[f"abs[{name}]"] = check_action_refinement(
+                    self.program[name],
+                    self.abstractions[name],
+                    universe,
+                    name=f"{name} ≼ α({name})",
+                    pa_name=name,
+                )
+        return results
+
+    def check_i1(self, universe: StoreUniverse) -> CheckResult:
+        """(I1): :math:`M \\preccurlyeq I`."""
+        # M and I share M's parameter signature; reuse M's locals.
+        universe_for_m = universe.extended(
+            extra_locals={self.invariant.name: universe.locals_for(self.m_name)}
+        )
+        return check_action_refinement(
+            self.program[self.m_name],
+            Action(
+                self.m_name,  # compare on M's locals
+                self.invariant.gate,
+                self.invariant.transitions,
+                self.invariant.params,
+            ),
+            universe_for_m,
+            name="I1: M ≼ I",
+            pa_name=self.m_name,
+        )
+
+    def check_i2(self, universe: StoreUniverse) -> CheckResult:
+        """(I2): I restricted to E-free transitions refines :math:`M'`."""
+        restricted = derive_m_prime(self.invariant, self.eliminated, name="I|E-free")
+        return check_action_refinement(
+            Action(self.m_name, restricted.gate, restricted.transitions),
+            Action(self.m_name, self.m_prime.gate, self.m_prime.transitions),
+            universe,
+            name="I2: I without E-PAs ≼ M'",
+            pa_name=self.m_name,
+        )
+
+    def check_i3(self, universe: StoreUniverse) -> CheckResult:
+        """(I3): the induction step.
+
+        For every gate-satisfying store :math:`\\sigma` and transition
+        :math:`t \\in \\tau_I` with PAs to E, let :math:`(\\ell, A) = f(t)`
+        and :math:`A^* = \\alpha(A)`:
+
+        1. the gate of :math:`A^*` holds on :math:`g_t \\cdot \\ell`, and
+        2. composing :math:`t` with any :math:`A^*`-transition yields a
+           transition in :math:`\\tau_I` from :math:`\\sigma`.
+        """
+        result = CheckResult("I3: inductive step", True)
+        names = set(self.eliminated)
+        for g, l, sigma in universe.combined(self.m_name):
+            if not universe.single_ok(g, self.m_name, l):
+                continue
+            if not self.invariant.gate(sigma):
+                continue
+            outcomes = list(self.invariant.transitions(sigma))
+            outcome_set = set(outcomes)
+            for t in outcomes:
+                if not any(p.action in names for p in t.created.support()):
+                    continue
+                chosen = self.choice(sigma, t)
+                if chosen.action not in names or chosen not in t.created:
+                    _fail(result, "choice function selected an invalid PA", (sigma, t, chosen))
+                    continue
+                abstraction = self.abstraction_of(chosen.action)
+                state_a = combine(t.new_global, chosen.locals)
+                result.checked += 1
+                if not abstraction.gate(state_a):
+                    _fail(
+                        result,
+                        f"gate of α({chosen.action}) fails after I-transition",
+                        (sigma, t, chosen),
+                    )
+                    continue
+                remaining = t.created.remove(chosen)
+                for tr_a in abstraction.transitions(state_a):
+                    composed = Transition(
+                        tr_a.new_global, remaining.union(tr_a.created)
+                    )
+                    result.checked += 1
+                    if composed not in outcome_set:
+                        _fail(
+                            result,
+                            f"composition of I with α({chosen.action}) escapes τ_I",
+                            (sigma, t, chosen, tr_a),
+                        )
+        return result
+
+    def check_lm(
+        self, universe: StoreUniverse, skip: Iterable[str] = ()
+    ) -> Dict[str, CheckResult]:
+        """(LM): every abstraction is a left mover w.r.t. the program."""
+        results = {}
+        for name in self.eliminated:
+            abstraction = self.abstraction_of(name)
+            universe_for_abs = universe.extended(
+                extra_locals={abstraction.name: universe.locals_for(name)}
+            )
+            check = is_left_mover_wrt_program(
+                Action(name, abstraction.gate, abstraction.transitions, abstraction.params),
+                self.program,
+                universe_for_abs,
+                skip=skip,
+            )
+            check.name = f"LM: α({name}) left mover wrt P"
+            results[f"LM[{name}]"] = check
+        return results
+
+    def check_co(self, universe: StoreUniverse) -> CheckResult:
+        """(CO): cooperation, checked locally thanks to monotonicity.
+
+        For every A ∈ E and gate-satisfying store of :math:`\\alpha(A)`,
+        some transition strictly decreases the lexicographic measure from
+        :math:`(g, \\{(\\ell, A)\\})` to :math:`(g', \\Omega')`.
+        """
+        result = CheckResult("CO: cooperation", True)
+        for name in self.eliminated:
+            abstraction = self.abstraction_of(name)
+            for g in universe.globals_:
+                for l in universe.locals_for(name):
+                    if not universe.single_ok(g, name, l):
+                        continue
+                    state = combine(g, l)
+                    if not abstraction.gate(state):
+                        continue
+                    result.checked += 1
+                    before = Config(g, Multiset([PendingAsync(name, l)]))
+                    decreasing = False
+                    for tr in abstraction.transitions(state):
+                        after = Config(tr.new_global, tr.created)
+                        if self.measure.decreases(before, after):
+                            decreasing = True
+                            break
+                    if not decreasing:
+                        _fail(
+                            result,
+                            f"α({name}) cannot decrease the measure",
+                            (g, l),
+                        )
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Top level
+    # ------------------------------------------------------------------ #
+
+    def check(
+        self, universe: StoreUniverse, lm_skip: Iterable[str] = ()
+    ) -> ISResult:
+        """Check all IS conditions over a store universe.
+
+        ``lm_skip`` excludes action names from the left-mover pool, used
+        for iterated IS where previously eliminated actions have already
+        disappeared from the program (Section 5.3).
+        """
+        result = ISResult()
+        result.conditions.update(self.check_abstractions(universe))
+        result.conditions["I1"] = self.check_i1(universe)
+        result.conditions["I2"] = self.check_i2(universe)
+        result.conditions["I3"] = self.check_i3(universe)
+        result.conditions.update(self.check_lm(universe, skip=lm_skip))
+        result.conditions["CO"] = self.check_co(universe)
+        return result
+
+    def apply(self) -> Program:
+        """The transformed program :math:`\\mathcal{P}[M \\mapsto M']`.
+
+        Sound only if :meth:`check` passed; callers are expected to check
+        first (the protocol pipelines in ``repro.protocols`` do).
+        """
+        return self.program.with_action(self.m_name, self.m_prime)
+
+    def apply_and_drop(self) -> Program:
+        """Like :meth:`apply`, but also drop the eliminated actions if no
+        remaining action can spawn them (convenience for iterated IS)."""
+        return self.apply().without_actions(self.eliminated)

@@ -1,0 +1,126 @@
+"""Stores: immutable assignments of values to variables.
+
+Section 3 of the paper partitions variables into globals :math:`V_G` and
+locals :math:`V_L`; a store :math:`\\sigma : V \\to D` assigns a value to
+every variable, and :math:`g \\cdot \\ell` denotes the combination of a
+global store ``g`` and a local store ``ℓ``.
+
+In this implementation a :class:`Store` is an immutable, hashable mapping
+from variable names (strings) to hashable values. The global/local split is
+by convention: an action's local store carries its parameters (e.g. the node
+id ``i`` of ``Broadcast(i)``), while the global store carries protocol state
+and channels. :func:`combine` implements :math:`g \\cdot \\ell` and
+:meth:`Store.globals_of` projects the global part back out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
+
+__all__ = ["Store", "EMPTY_STORE", "combine"]
+
+Value = Hashable
+
+
+class Store:
+    """An immutable mapping from variable names to (hashable) values.
+
+    >>> s = Store({"x": 1, "y": 2})
+    >>> s["x"]
+    1
+    >>> s.set("x", 7)["x"]
+    7
+    >>> s["x"]  # the original is unchanged
+    1
+    """
+
+    __slots__ = ("_data", "_hash")
+
+    def __init__(self, data: Mapping[str, Value] = ()):
+        self._data: Dict[str, Value] = dict(data)
+        self._hash = None
+
+    def __getitem__(self, name: str) -> Value:
+        return self._data[name]
+
+    def get(self, name: str, default: Value = None) -> Value:
+        return self._data.get(name, default)
+
+    def set(self, name: str, value: Value) -> "Store":
+        """Return a new store with ``name`` bound to ``value``."""
+        data = dict(self._data)
+        data[name] = value
+        return Store(data)
+
+    def update(self, changes: Mapping[str, Value]) -> "Store":
+        """Return a new store applying all bindings in ``changes``."""
+        data = dict(self._data)
+        data.update(changes)
+        return Store(data)
+
+    def without(self, names: Iterable[str]) -> "Store":
+        """Return a new store with the given variables removed."""
+        drop = set(names)
+        return Store({k: v for k, v in self._data.items() if k not in drop})
+
+    def restrict(self, names: Iterable[str]) -> "Store":
+        """Return a new store keeping only the given variables."""
+        keep = set(names)
+        return Store({k: v for k, v in self._data.items() if k in keep})
+
+    def globals_of(self, global_vars: Iterable[str]) -> "Store":
+        """Project out the global part of a combined store."""
+        return self.restrict(global_vars)
+
+    def merge(self, other: "Store") -> "Store":
+        """Combine two stores; ``other`` wins on overlapping variables."""
+        data = dict(self._data)
+        data.update(other._data)
+        return Store(data)
+
+    def variables(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def items(self) -> Iterator[Tuple[str, Value]]:
+        return iter(self._data.items())
+
+    def as_dict(self) -> Dict[str, Value]:
+        """A mutable copy of the underlying mapping."""
+        return dict(self._data)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Store):
+            return NotImplemented
+        return self._data == other._data
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._data.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._data.items()))
+        return f"Store({inner})"
+
+
+#: The empty store (e.g. the local store of a parameterless action).
+EMPTY_STORE = Store()
+
+
+def combine(global_store: Store, local_store: Store) -> Store:
+    """The paper's :math:`g \\cdot \\ell` combination of stores.
+
+    Local variables shadow globals of the same name; protocols in this
+    repository keep the two namespaces disjoint, so the distinction never
+    matters in practice.
+    """
+    return global_store.merge(local_store)

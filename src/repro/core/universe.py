@@ -1,0 +1,196 @@
+"""Store universes: finite quantifier domains for checking conditions.
+
+Every proof obligation of the paper — action refinement (Definition 3.1),
+the four left-mover conditions (Section 3), and the IS conditions I1/I2/I3/
+LM/CO (Figure 3) — is a universally quantified statement over stores. CIVL
+discharges them with an SMT solver; this reproduction discharges them by
+*enumeration over a finite universe of stores* (see DESIGN.md).
+
+A :class:`StoreUniverse` provides
+
+* a set of candidate **global stores**, and
+* per action name, a set of candidate **local stores** (parameter values).
+
+The canonical construction is :meth:`StoreUniverse.from_reachable`, which
+explores a program instance and harvests every global store of a reachable
+configuration and every local store of a pending async observed during the
+exploration. Protocols typically extend this with boundary stores (e.g.
+perturbed channels) via :meth:`extended` so the checks also cover the
+intermediate stores produced while commuting actions during rewriting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from .action import PendingAsync
+from .context import NoContext, PAContext
+from .explore import explore
+from .program import Program
+from .semantics import Config
+from .store import EMPTY_STORE, Store, combine
+
+__all__ = ["StoreUniverse"]
+
+
+@dataclass
+class StoreUniverse:
+    """A finite quantifier domain: global stores + per-action local stores.
+
+    The optional :class:`~repro.core.context.PAContext` restricts which
+    (store, pending-async) combinations the conditions are checked on,
+    reproducing CIVL's linear-permission discipline (see
+    ``repro.core.context``).
+    """
+
+    globals_: List[Store]
+    locals_by_action: Dict[str, List[Store]] = field(default_factory=dict)
+    context: PAContext = field(default_factory=NoContext)
+    _pair_cache: Dict[tuple, bool] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    @classmethod
+    def from_reachable(
+        cls,
+        program: Program,
+        initials: Iterable[Config],
+        max_configs: Optional[int] = None,
+    ) -> "StoreUniverse":
+        """Harvest globals and PA locals from the reachable state space."""
+        result = explore(program, initials, max_configs=max_configs)
+        globals_seen: Set[Store] = set()
+        locals_seen: Dict[str, Set[Store]] = {}
+        for config in result.reachable:
+            globals_seen.add(config.glob)
+            for pending in config.pending.support():
+                locals_seen.setdefault(pending.action, set()).add(pending.locals)
+        return cls(
+            sorted(globals_seen, key=repr),
+            {name: sorted(stores, key=repr) for name, stores in locals_seen.items()},
+        )
+
+    @classmethod
+    def from_random_walks(
+        cls,
+        program: Program,
+        initials: Iterable[Config],
+        walks: int = 200,
+        max_steps: int = 10_000,
+        seed: int = 0,
+    ) -> "StoreUniverse":
+        """Harvest a universe from random-scheduler walks instead of full
+        BFS — the bounded-checking fallback for instances whose reachable
+        state space is too large to enumerate (e.g. Paxos at R=2, N=3).
+        A PASS over such a universe is a bounded check, not an exhaustive
+        one; protocols document which instances use it."""
+        import random
+
+        from .explore import random_execution
+
+        rng = random.Random(seed)
+        globals_seen: Set[Store] = set()
+        locals_seen: Dict[str, Set[Store]] = {}
+        initials = list(initials)
+        for _ in range(walks):
+            init = rng.choice(initials)
+            execution = random_execution(program, init, rng, max_steps=max_steps)
+            for config in execution.configs():
+                if not isinstance(config, Config):
+                    continue
+                globals_seen.add(config.glob)
+                for pending in config.pending.support():
+                    locals_seen.setdefault(pending.action, set()).add(pending.locals)
+        return cls(
+            sorted(globals_seen, key=repr),
+            {name: sorted(stores, key=repr) for name, stores in locals_seen.items()},
+        )
+
+    def sampled(self, limit: int, keep=None) -> "StoreUniverse":
+        """A deterministic stratified subsample of the globals (every k-th
+        after sorting), always retaining globals for which ``keep`` holds.
+        Locals are kept in full."""
+        if len(self.globals_) <= limit:
+            return self
+        retained = [g for g in self.globals_ if keep is not None and keep(g)]
+        rest = [g for g in self.globals_ if g not in set(retained)]
+        stride = max(1, len(rest) // max(1, limit - len(retained)))
+        sample = retained + rest[::stride]
+        return StoreUniverse(sample, self.locals_by_action, self.context)
+
+    @classmethod
+    def of_stores(
+        cls,
+        globals_: Iterable[Store],
+        locals_by_action: Mapping[str, Iterable[Store]] = (),
+    ) -> "StoreUniverse":
+        return cls(
+            list(dict.fromkeys(globals_)),
+            {name: list(dict.fromkeys(ls)) for name, ls in dict(locals_by_action).items()},
+        )
+
+    def locals_for(self, action_name: str) -> List[Store]:
+        """Candidate local stores for an action (default: the empty store)."""
+        return self.locals_by_action.get(action_name, [EMPTY_STORE])
+
+    def combined(self, action_name: str) -> Iterator[Tuple[Store, Store, Store]]:
+        """Iterate ``(global, local, combined)`` triples for an action."""
+        for g in self.globals_:
+            for l in self.locals_for(action_name):
+                yield g, l, combine(g, l)
+
+    def single_ok(self, global_store: Store, action_name: str, locals_: Store) -> bool:
+        """May PA ``(locals_, action_name)`` be scheduled from this global?"""
+        return self.context.single(global_store, PendingAsync(action_name, locals_))
+
+    def pair_ok(
+        self,
+        global_store: Store,
+        name1: str,
+        locals1: Store,
+        name2: str,
+        locals2: Store,
+    ) -> bool:
+        """May the two PAs coexist (as distinct PAs) in one configuration?"""
+        if not self.context.state_dependent:
+            key = (name1, locals1, name2, locals2)
+            cached = self._pair_cache.get(key)
+            if cached is None:
+                cached = self.context.pair(
+                    global_store,
+                    PendingAsync(name1, locals1),
+                    PendingAsync(name2, locals2),
+                )
+                self._pair_cache[key] = cached
+            return cached
+        return self.context.pair(
+            global_store,
+            PendingAsync(name1, locals1),
+            PendingAsync(name2, locals2),
+        )
+
+    def with_context(self, context: PAContext) -> "StoreUniverse":
+        """A copy of this universe under a different PA context."""
+        return StoreUniverse(self.globals_, self.locals_by_action, context)
+
+    def extended(
+        self,
+        extra_globals: Iterable[Store] = (),
+        extra_locals: Mapping[str, Iterable[Store]] = (),
+    ) -> "StoreUniverse":
+        """A new universe with additional globals / locals."""
+        globals_ = list(dict.fromkeys([*self.globals_, *extra_globals]))
+        locals_by_action = {k: list(v) for k, v in self.locals_by_action.items()}
+        for name, stores in dict(extra_locals).items():
+            merged = locals_by_action.get(name, []) + list(stores)
+            locals_by_action[name] = list(dict.fromkeys(merged))
+        return StoreUniverse(globals_, locals_by_action, self.context)
+
+    def merge(self, other: "StoreUniverse") -> "StoreUniverse":
+        """Union of two universes (keeps this universe's PA context)."""
+        return self.extended(other.globals_, other.locals_by_action)
+
+    def __repr__(self) -> str:
+        locals_desc = {k: len(v) for k, v in self.locals_by_action.items()}
+        return f"StoreUniverse({len(self.globals_)} globals, locals={locals_desc})"

@@ -1,0 +1,127 @@
+"""Well-founded orders over configurations for the cooperation condition.
+
+The IS rule (Figure 3) requires a well-founded order :math:`\\gg` such that
+every abstracted action can always execute while strictly decreasing the
+configuration. Section 4 ("Checking cooperation is easy") describes the
+generic pattern used for all of the paper's examples: map a configuration to
+a tuple of natural numbers — each component counting the messages in some
+channel or the pending asyncs of some action — and compare tuples
+lexicographically. Such an order is automatically well-founded and
+*monotonic* (adding the same PAs to both sides preserves the order), so the
+cooperation condition can be discharged locally on
+:math:`(g, \\{(\\ell, A)\\}) \\gg (g', \\Omega')`.
+
+:class:`LexicographicMeasure` implements exactly this pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+from .semantics import Config
+
+__all__ = [
+    "LexicographicMeasure",
+    "pa_count",
+    "channel_size",
+    "total_pa_count",
+    "global_counter",
+    "pa_potential",
+]
+
+Component = Callable[[Config], int]
+
+
+@dataclass(frozen=True)
+class LexicographicMeasure:
+    """A measure mapping configurations to tuples of naturals.
+
+    ``c ≫ c'`` iff ``key(c) > key(c')`` in lexicographic order. Components
+    must be non-negative for well-foundedness; :meth:`key` enforces this.
+    """
+
+    components: Tuple[Component, ...]
+    name: str = "measure"
+
+    def key(self, config: Config) -> Tuple[int, ...]:
+        values = tuple(component(config) for component in self.components)
+        if any(v < 0 for v in values):
+            raise ValueError(f"negative measure component in {self.name}: {values}")
+        return values
+
+    def decreases(self, before: Config, after: Config) -> bool:
+        """The strict order ``before ≫ after``."""
+        return self.key(before) > self.key(after)
+
+
+def pa_count(action_name: str) -> Component:
+    """Component counting pending asyncs to a given action."""
+
+    def component(config: Config) -> int:
+        return sum(
+            count
+            for pending, count in config.pending.counts()
+            if pending.action == action_name
+        )
+
+    return component
+
+
+def total_pa_count() -> Component:
+    """Component counting all pending asyncs (the broadcast-consensus order)."""
+
+    def component(config: Config) -> int:
+        return len(config.pending)
+
+    return component
+
+
+def channel_size(var: str, key=None) -> Component:
+    """Component counting messages in a channel stored in global ``var``.
+
+    The channel value must support ``len``; with ``key`` given, ``var`` is a
+    mapping (e.g. a dict of per-node channels) and the component counts
+    messages across all entries (``key=None``) or in a specific entry.
+    """
+
+    def component(config: Config) -> int:
+        value = config.glob[var]
+        if key is not None:
+            return len(value[key])
+        if isinstance(value, dict):
+            return sum(len(channel) for channel in value.values())
+        return len(value)
+
+    return component
+
+
+def pa_potential(weight) -> Component:
+    """Component summing a non-negative weight over all pending asyncs.
+
+    Generalizes PA counting for protocols whose actions *replace* one PA by
+    another (e.g. Ping-Pong, where ``Pong(x)`` spawns ``Pong(x+1)``): give
+    each PA a potential that strictly drops along the protocol's progress,
+    e.g. ``weight(pa) = rounds_remaining(pa)``. Monotonic by construction,
+    so the cooperation condition can be checked locally.
+    """
+
+    def component(config: Config) -> int:
+        return sum(
+            weight(pending) * count for pending, count in config.pending.counts()
+        )
+
+    return component
+
+
+def global_counter(var: str, scale: int = 1) -> Component:
+    """Component reading a non-negative integer global variable.
+
+    Useful for protocols whose progress is tracked in a counter (e.g. the
+    number of rounds still to run); ``scale`` weights the component.
+    """
+
+    def component(config: Config) -> int:
+        return int(config.glob[var]) * scale
+
+    return component

@@ -1,0 +1,9 @@
+"""Execution-level engines: the constructive soundness argument of IS.
+
+``repro.engine.rewriting`` turns the proof of Lemmas 4.2/4.3 into an
+executable transformation producing certified sequentialized executions.
+"""
+
+from .rewriting import RewriteError, RewriteResult, RewriteStats, rewrite_execution
+
+__all__ = ["RewriteError", "RewriteResult", "RewriteStats", "rewrite_execution"]

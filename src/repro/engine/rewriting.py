@@ -1,0 +1,247 @@
+"""Constructive execution rewriting: the soundness proof as running code.
+
+Lemmas 4.2/4.3 of the paper show that any terminating execution of
+:math:`\\mathcal{P}` starting with a transition of :math:`M` can be
+rewritten — by (1) replacing the :math:`M` step with an invariant-action
+step, (2) repeatedly substituting the chosen pending async's abstraction,
+commuting it stepwise to the front, and absorbing it into the invariant
+transition, and finally (3) replacing the fully absorbed invariant
+transition by :math:`M'` — into an execution of
+:math:`\\mathcal{P}' = \\mathcal{P}[M \\mapsto M']` with the *same final
+configuration* (cf. the illustration in Figure 2).
+
+:func:`rewrite_execution` implements that argument operationally. Every
+individual rewrite (simulation by :math:`I`, abstraction substitution,
+left-mover swap, absorption into :math:`\\tau_I`, final :math:`M'`
+membership) is validated against the concrete semantics, so a successful
+run is an end-to-end certificate of the refinement on that execution —
+and a failing run pinpoints which IS ingredient broke, making this engine
+a powerful differential test of the condition checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..core.action import Action, PendingAsync, Transition
+from ..core.multiset import Multiset
+from ..core.semantics import Config, Execution, Step
+from ..core.sequentialize import ISApplication
+from ..core.store import combine
+
+__all__ = ["RewriteError", "RewriteStats", "RewriteResult", "rewrite_execution"]
+
+
+class RewriteError(RuntimeError):
+    """The execution could not be rewritten; the message names the IS
+    ingredient (I1, I3, LM, abstraction validity, ...) that failed on a
+    concrete execution."""
+
+
+@dataclass
+class RewriteStats:
+    """Bookkeeping of the rewriting process (for reports and the Figure 2
+    demo): how many PAs were absorbed and how many left-mover swaps were
+    performed."""
+
+    absorbed: int = 0
+    swaps: int = 0
+    absorbed_actions: List[PendingAsync] = field(default_factory=list)
+
+
+@dataclass
+class RewriteResult:
+    """A certified rewriting: the new execution plus statistics."""
+
+    execution: Execution
+    stats: RewriteStats
+
+
+def _pas_to_e(created: Multiset, eliminated: Tuple[str, ...]) -> bool:
+    names = set(eliminated)
+    return any(p.action in names for p in created.support())
+
+
+def _config_before(initial: Config, steps: List[Step], index: int) -> Config:
+    """Configuration before ``steps[index]``."""
+    if index == 0:
+        return initial
+    target = steps[index - 1].target
+    if not isinstance(target, Config):
+        raise RewriteError("encountered failure configuration during rewriting")
+    return target
+
+
+def _substitute_abstraction(
+    app: ISApplication, step: Step, source: Config
+) -> Step:
+    """Replace a step of a concrete action A by a step of α(A) with the
+    identical effect (possible whenever the gate of α(A) holds, by
+    :math:`A \\preccurlyeq \\alpha(A)`)."""
+    abstraction = app.abstraction_of(step.executed.action)
+    state = combine(source.glob, step.executed.locals)
+    if not abstraction.gate(state):
+        raise RewriteError(
+            f"gate of abstraction of {step.executed.action} does not hold "
+            f"where the concrete action executed"
+        )
+    if step.transition not in abstraction.outcomes(state):
+        raise RewriteError(
+            f"abstraction of {step.executed.action} cannot simulate the "
+            f"concrete transition (abstraction validity violated)"
+        )
+    return step
+
+
+def _swap(
+    app: ISApplication,
+    abstraction: Action,
+    before: Config,
+    first: Step,
+    second: Step,
+) -> Tuple[Step, Step]:
+    """Commute ``second`` (a step of the chosen PA's abstraction) to the
+    left of ``first``: find an abstraction transition from ``before`` and a
+    ``first``-transition after it reproducing the same final configuration.
+    Failure here is a concrete left-mover violation."""
+    chosen = second.executed
+    other = first.executed
+    state_a = combine(before.glob, chosen.locals)
+    if not abstraction.gate(state_a):
+        raise RewriteError(
+            f"gate of abstraction of {chosen.action} not forward-preserved "
+            f"across {other.action} (LM condition 1 violated on execution)"
+        )
+    final_target = second.target
+    assert isinstance(final_target, Config)
+    other_action = app.program[other.action]
+    for tr_a in abstraction.transitions(state_a):
+        if tr_a.created != second.transition.created:
+            continue
+        mid = Config(
+            tr_a.new_global,
+            before.pending.remove(chosen).union(tr_a.created),
+        )
+        state_x = combine(mid.glob, other.locals)
+        if not other_action.gate(state_x):
+            continue
+        for tr_x in other_action.transitions(state_x):
+            if (
+                tr_x.created == first.transition.created
+                and tr_x.new_global == final_target.glob
+            ):
+                new_first = Step(chosen, tr_a, mid)
+                new_second = Step(
+                    other,
+                    tr_x,
+                    Config(
+                        tr_x.new_global,
+                        mid.pending.remove(other).union(tr_x.created),
+                    ),
+                )
+                if new_second.target != final_target:
+                    continue
+                return new_first, new_second
+    raise RewriteError(
+        f"cannot commute abstraction of {chosen.action} to the left of "
+        f"{other.action} (LM condition 3 violated on execution)"
+    )
+
+
+def rewrite_execution(app: ISApplication, execution: Execution) -> RewriteResult:
+    """Rewrite a terminating ``P``-execution whose first step executes
+    ``app.m_name`` into an execution of ``app.apply()`` with the same
+    initial and final configuration.
+
+    Raises :class:`RewriteError` with a diagnostic if any step of the
+    paper's proof fails concretely (which, for artifacts passing
+    :meth:`ISApplication.check`, should never happen on executions within
+    the checked universe — the property-based tests rely on exactly this).
+    """
+    if not execution.steps:
+        raise RewriteError("execution has no steps")
+    if not execution.terminating:
+        raise RewriteError("rewriting requires a terminating execution")
+    head = execution.steps[0]
+    if head.executed.action != app.m_name:
+        raise RewriteError(
+            f"execution must start with a step of {app.m_name!r}, "
+            f"got {head.executed.action!r}"
+        )
+
+    sigma = combine(execution.initial.glob, head.executed.locals)
+    invariant = app.invariant
+
+    # Base case (Figure 2, ①->②): simulate the M step by an I transition.
+    if not invariant.gate(sigma):
+        raise RewriteError("gate of the invariant action fails at the M step (I1)")
+    inv_outcomes = invariant.outcomes(sigma)
+    if head.transition not in inv_outcomes:
+        raise RewriteError("invariant action cannot simulate the M transition (I1)")
+    current: Transition = head.transition
+
+    stats = RewriteStats()
+    rest: List[Step] = list(execution.steps[1:])
+    frame = execution.initial.pending.remove(head.executed)
+
+    # Induction (Figure 2, ②->⑤): absorb chosen PAs one at a time.
+    while _pas_to_e(current.created, app.eliminated):
+        chosen = app.choice(sigma, current)
+        if chosen not in current.created:
+            raise RewriteError("choice function selected a PA not in the transition")
+        abstraction = app.abstraction_of(chosen.action)
+
+        # Locate the (first) step executing the chosen PA.
+        index = next(
+            (i for i, step in enumerate(rest) if step.executed == chosen), None
+        )
+        if index is None:
+            raise RewriteError(
+                f"chosen PA {chosen!r} never executes in the remainder "
+                f"(execution not terminating w.r.t. it)"
+            )
+
+        after_head = Config(current.new_global, frame.union(current.created))
+        source = _config_before(after_head, rest, index)
+        rest[index] = _substitute_abstraction(app, rest[index], source)
+
+        # Commute the abstraction step to the front (Figure 2, ②->③).
+        while index > 0:
+            before = _config_before(after_head, rest, index - 1)
+            new_first, new_second = _swap(
+                app, abstraction, before, rest[index - 1], rest[index]
+            )
+            rest[index - 1] = new_first
+            rest[index] = new_second
+            index -= 1
+            stats.swaps += 1
+
+        # Absorb it into the invariant transition (Figure 2, ③->④; I3).
+        absorbed = rest.pop(0)
+        composed = Transition(
+            absorbed.transition.new_global,
+            current.created.remove(chosen).union(absorbed.transition.created),
+        )
+        if composed not in inv_outcomes:
+            raise RewriteError(
+                f"composition with abstraction of {chosen.action} escapes the "
+                f"invariant's transition relation (I3 violated on execution)"
+            )
+        current = composed
+        stats.absorbed += 1
+        stats.absorbed_actions.append(chosen)
+
+    # Conclusion (Figure 2, ⑤->⑥): the E-free transition is one of M'.
+    m_prime = app.m_prime
+    if not m_prime.gate(sigma) or current not in m_prime.outcomes(sigma):
+        raise RewriteError("final invariant transition is not a transition of M' (I2)")
+
+    new_head = Step(
+        head.executed, current, Config(current.new_global, frame.union(current.created))
+    )
+    rewritten = Execution(execution.initial, [new_head] + rest)
+    rewritten.validate(app.apply())
+    if rewritten.final != execution.final:
+        raise RewriteError("rewritten execution changed the final configuration")
+    return RewriteResult(rewritten, stats)

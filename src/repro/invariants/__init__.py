@@ -1,0 +1,21 @@
+"""Baseline flat inductive invariants (the methodology IS is compared to)."""
+
+from .inductive import ConfigView, InvariantCheck, check_inductive_invariant
+from .library import (
+    broadcast_invariant,
+    broadcast_invariant_weakened,
+    paxos_easy_invariant,
+    paxos_full_invariant,
+    paxos_invariants,
+)
+
+__all__ = [
+    "ConfigView",
+    "InvariantCheck",
+    "check_inductive_invariant",
+    "broadcast_invariant",
+    "broadcast_invariant_weakened",
+    "paxos_easy_invariant",
+    "paxos_full_invariant",
+    "paxos_invariants",
+]

@@ -1,0 +1,125 @@
+"""Classical inductive-invariant checking — the baseline IS is compared to.
+
+Section 5.2 ("Invariant complexity") contrasts IS against the standard
+methodology of flat, "asynchrony-aware" inductive invariants over the
+original asynchronous program (Ivy [40], IronFleet [22], Verdi [47], ...).
+This module implements that baseline for our atomic-action programs:
+
+* **initiation** — every initial configuration satisfies the invariant;
+* **consecution** — from every candidate configuration satisfying the
+  invariant, every successor satisfies it too (the successor is computed by
+  the real semantics, so escapes are genuine counterexamples-to-induction);
+* **safety** — the invariant implies the spec on terminated configurations.
+
+Formulas read the global store by variable name and the pending-async
+multiset under the name ``Omega`` — matching how invariant (2) of the paper
+speaks about :math:`\\Omega`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from ..core.program import Program
+from ..core.semantics import Config, Failure, steps_from
+from ..logic.formulas import Formula
+
+__all__ = ["ConfigView", "InvariantCheck", "check_inductive_invariant"]
+
+
+class ConfigView:
+    """Environment adapter exposing a configuration to formulas: global
+    variables by name, plus ``Omega`` for the pending-async multiset."""
+
+    __slots__ = ("config",)
+
+    def __init__(self, config: Config):
+        self.config = config
+
+    def __getitem__(self, name: str):
+        if name == "Omega":
+            return self.config.pending
+        return self.config.glob[name]
+
+    def get(self, name: str, default=None):
+        try:
+            return self[name]
+        except KeyError:
+            return default
+
+
+@dataclass
+class InvariantCheck:
+    """Result of the three-part inductive-invariant check."""
+
+    init_ok: bool = True
+    inductive_ok: bool = True
+    safe_ok: bool = True
+    checked_configs: int = 0
+    checked_steps: int = 0
+    counterexamples: List[Tuple[str, object]] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return self.init_ok and self.inductive_ok and self.safe_ok
+
+    def _note(self, kind: str, witness, limit: int = 5) -> None:
+        if len(self.counterexamples) < limit:
+            self.counterexamples.append((kind, witness))
+
+    def __repr__(self) -> str:
+        status = "PASS" if self.holds else "FAIL"
+        parts = []
+        if not self.init_ok:
+            parts.append("init")
+        if not self.inductive_ok:
+            parts.append("consecution")
+        if not self.safe_ok:
+            parts.append("safety")
+        broken = f" broken={parts}" if parts else ""
+        return (
+            f"InvariantCheck({status}, {self.checked_configs} configs, "
+            f"{self.checked_steps} steps{broken})"
+        )
+
+
+def check_inductive_invariant(
+    program: Program,
+    invariant: Formula,
+    initials: Iterable[Config],
+    candidates: Iterable[Config],
+    spec: Optional[Callable[[Config], bool]] = None,
+) -> InvariantCheck:
+    """Check initiation, consecution, and safety of ``invariant``.
+
+    ``candidates`` is the finite configuration space the consecution check
+    quantifies over (typically the reachable set, optionally extended with
+    perturbed configurations); successors are computed by the semantics and
+    checked against the invariant wherever they land.
+    """
+    result = InvariantCheck()
+
+    for config in initials:
+        result.checked_configs += 1
+        if not invariant.holds(ConfigView(config)):
+            result.init_ok = False
+            result._note("initiation", config)
+
+    for config in candidates:
+        if not invariant.holds(ConfigView(config)):
+            continue  # outside the invariant: consecution says nothing
+        result.checked_configs += 1
+        if spec is not None and config.terminated and not spec(config):
+            result.safe_ok = False
+            result._note("safety", config)
+        for step in steps_from(program, config):
+            result.checked_steps += 1
+            if isinstance(step.target, Failure):
+                result.safe_ok = False
+                result._note("failure", (config, step))
+                continue
+            if not invariant.holds(ConfigView(step.target)):
+                result.inductive_ok = False
+                result._note("consecution", (config, step))
+    return result

@@ -1,0 +1,50 @@
+"""Mini-CIVL language: AST, lowering, fine-grained semantics, summaries.
+
+The case-study implementations :math:`\\mathcal{P}_1` are written in this
+embedded language and connected to the atomic-action world in two ways:
+``build_finegrained`` gives the instruction-level program, and
+``summarize_module`` gives the candidate atomic program
+:math:`\\mathcal{P}_2` whose soundness Lipton reduction certifies.
+"""
+
+from .ast_nodes import (
+    Assert,
+    Assign,
+    Assume,
+    Async,
+    BinOp,
+    Block,
+    C,
+    Call,
+    Const,
+    Expr,
+    Foreach,
+    Havoc,
+    If,
+    MapAssign,
+    MapGet,
+    Receive,
+    Send,
+    Skip,
+    Stmt,
+    UnOp,
+    V,
+    Var,
+    While,
+)
+from .channels import channel_len, channel_receives, channel_send, empty_channel
+from .compile import SummaryExplosion, summarize_module, summarize_procedure
+from .interp import Module, Procedure, action_name, build_finegrained
+from .lower import CJump, IterInit, IterNext, Jump, Prim, lower
+from .pretty import pretty_module, pretty_procedure, pretty_stmt
+
+__all__ = [
+    "Assert", "Assign", "Assume", "Async", "BinOp", "Block", "C", "Call",
+    "Const", "Expr", "Foreach", "Havoc", "If", "MapAssign", "MapGet",
+    "Receive", "Send", "Skip", "Stmt", "UnOp", "V", "Var", "While",
+    "channel_len", "channel_receives", "channel_send", "empty_channel",
+    "SummaryExplosion", "summarize_module", "summarize_procedure",
+    "Module", "Procedure", "action_name", "build_finegrained",
+    "CJump", "IterInit", "IterNext", "Jump", "Prim", "lower",
+    "pretty_module", "pretty_procedure", "pretty_stmt",
+]

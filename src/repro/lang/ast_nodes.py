@@ -1,0 +1,357 @@
+"""Expression and statement AST of the mini-CIVL language.
+
+The case-study implementations :math:`\\mathcal{P}_1` (Section 5.2,
+"Implementation") are written in this small embedded language: procedures
+with parameters and locals, assignments, nondeterministic choice (havoc),
+assume/assert, bag/FIFO channel send and receive, asynchronous procedure
+calls, conditionals, and bounded loops.
+
+Expressions form a proper AST with an evaluator over stores; Python
+operator overloading gives a readable surface syntax::
+
+    V("x") + C(1) > MapGet(V("decision"), V("i"))
+
+Statements are lowered to a flat control-flow graph by ``repro.lang.lower``
+and given fine-grained semantics by ``repro.lang.interp``.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Tuple
+
+from ..core.store import Store
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "MapGet",
+    "BinOp",
+    "UnOp",
+    "Call",
+    "V",
+    "C",
+    "Stmt",
+    "Skip",
+    "Assign",
+    "MapAssign",
+    "Havoc",
+    "Assume",
+    "Assert",
+    "Send",
+    "Receive",
+    "Async",
+    "If",
+    "While",
+    "Foreach",
+    "Block",
+]
+
+
+# --------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------- #
+
+
+class Expr:
+    """Base class of expressions; supports operator overloading."""
+
+    def eval(self, env: Store):
+        raise NotImplementedError
+
+    # -- arithmetic / comparison sugar ---------------------------------- #
+    def __add__(self, other):  return BinOp("+", self, _expr(other))
+    def __sub__(self, other):  return BinOp("-", self, _expr(other))
+    def __mul__(self, other):  return BinOp("*", self, _expr(other))
+    def __mod__(self, other):  return BinOp("%", self, _expr(other))
+    def __eq__(self, other):   return BinOp("==", self, _expr(other))  # type: ignore[override]
+    def __ne__(self, other):   return BinOp("!=", self, _expr(other))  # type: ignore[override]
+    def __lt__(self, other):   return BinOp("<", self, _expr(other))
+    def __le__(self, other):   return BinOp("<=", self, _expr(other))
+    def __gt__(self, other):   return BinOp(">", self, _expr(other))
+    def __ge__(self, other):   return BinOp(">=", self, _expr(other))
+    def __and__(self, other):  return BinOp("and", self, _expr(other))
+    def __or__(self, other):   return BinOp("or", self, _expr(other))
+    def __invert__(self):      return UnOp("not", self)
+    def __hash__(self):        return id(self)
+
+
+def _expr(value) -> "Expr":
+    return value if isinstance(value, Expr) else Const(value)
+
+
+@dataclass(frozen=True, eq=False)
+class Var(Expr):
+    """A variable reference (local or global)."""
+
+    name: str
+
+    def eval(self, env: Store):
+        return env[self.name]
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expr):
+    """A literal constant."""
+
+    value: object
+
+    def eval(self, env: Store):
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, eq=False)
+class MapGet(Expr):
+    """Map indexing ``map[key]`` over a FrozenDict-valued expression."""
+
+    map: Expr
+    key: Expr
+
+    def eval(self, env: Store):
+        return self.map.eval(env)[self.key.eval(env)]
+
+    def __repr__(self) -> str:
+        return f"{self.map!r}[{self.key!r}]"
+
+
+_BIN_OPS: Dict[str, Callable] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "%": operator.mod,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+}
+
+
+@dataclass(frozen=True, eq=False)
+class BinOp(Expr):
+    """A binary operation from the fixed operator table."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def eval(self, env: Store):
+        return _BIN_OPS[self.op](self.left.eval(env), self.right.eval(env))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+_UN_OPS: Dict[str, Callable] = {
+    "not": operator.not_,
+    "-": operator.neg,
+    "len": len,
+    "max": max,
+    "min": min,
+}
+
+
+@dataclass(frozen=True, eq=False)
+class UnOp(Expr):
+    """A unary operation (``not``, negation, ``len``, ``max``, ``min``)."""
+
+    op: str
+    operand: Expr
+
+    def eval(self, env: Store):
+        return _UN_OPS[self.op](self.operand.eval(env))
+
+    def __repr__(self) -> str:
+        return f"{self.op}({self.operand!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Call(Expr):
+    """Escape hatch: apply a pure Python function to evaluated arguments.
+
+    Used for domain operations that the small operator table does not
+    cover (e.g. quorum tests); the function must be pure and total.
+    """
+
+    name: str
+    fn: Callable
+    args: Tuple[Expr, ...]
+
+    def eval(self, env: Store):
+        return self.fn(*(a.eval(env) for a in self.args))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+def V(name: str) -> Var:
+    """Shorthand variable constructor."""
+    return Var(name)
+
+
+def C(value) -> Const:
+    """Shorthand constant constructor."""
+    return Const(value)
+
+
+# --------------------------------------------------------------------- #
+# Statements
+# --------------------------------------------------------------------- #
+
+
+class Stmt:
+    """Base class of statements."""
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    """No-op."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target := expr`` where ``target`` is a local or global variable."""
+
+    target: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class MapAssign(Stmt):
+    """``target[key] := expr`` for a map-valued global."""
+
+    target: str
+    key: Expr
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Havoc(Stmt):
+    """Nondeterministically assign ``target`` a value from ``choices``.
+
+    ``choices`` is a Python callable from the current store to an iterable
+    of candidate values (the domain may depend on the state).
+    """
+
+    target: str
+    choices: Callable[[Store], Sequence[object]]
+
+
+@dataclass(frozen=True)
+class Assume(Stmt):
+    """Block unless the condition holds."""
+
+    cond: Expr
+
+
+@dataclass(frozen=True)
+class Assert(Stmt):
+    """Fail (gate violation) unless the condition holds."""
+
+    cond: Expr
+
+
+@dataclass(frozen=True)
+class Send(Stmt):
+    """``send msg channel[key]``: append a message to a channel.
+
+    ``channel`` names a map-valued global of per-key channels; the channel
+    kind (``"bag"`` or ``"fifo"``) determines append semantics.
+    """
+
+    channel: str
+    key: Expr
+    message: Expr
+    kind: str = "bag"
+
+
+@dataclass(frozen=True)
+class Receive(Stmt):
+    """``target := receive channel[key]``: blocking receive of one message.
+
+    Bag channels deliver any present message (nondeterministic); FIFO
+    channels deliver the head. Blocks while the channel is empty.
+    """
+
+    target: str
+    channel: str
+    key: Expr
+    kind: str = "bag"
+
+
+@dataclass(frozen=True)
+class Async(Stmt):
+    """``async proc(args)``: spawn an asynchronous procedure instance."""
+
+    proc: str
+    args: Tuple[Tuple[str, Expr], ...] = ()
+
+    @staticmethod
+    def of(proc: str, **args: Expr) -> "Async":
+        return Async(proc, tuple(sorted((k, _expr(v)) for k, v in args.items())))
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """Conditional with optional else branch."""
+
+    cond: Expr
+    then: Tuple[Stmt, ...]
+    orelse: Tuple[Stmt, ...] = ()
+
+    @staticmethod
+    def of(cond: Expr, then: Sequence[Stmt], orelse: Sequence[Stmt] = ()) -> "If":
+        return If(cond, tuple(then), tuple(orelse))
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """Loop while the condition holds (must terminate on finite instances)."""
+
+    cond: Expr
+    body: Tuple[Stmt, ...]
+
+    @staticmethod
+    def of(cond: Expr, body: Sequence[Stmt]) -> "While":
+        return While(cond, tuple(body))
+
+
+@dataclass(frozen=True)
+class Foreach(Stmt):
+    """``for target in iterable(state): body`` over a state-dependent,
+    finite, *deterministically ordered* iterable."""
+
+    target: str
+    iterable: Callable[[Store], Sequence[object]]
+    body: Tuple[Stmt, ...]
+
+    @staticmethod
+    def of(
+        target: str,
+        iterable: Callable[[Store], Sequence[object]],
+        body: Sequence[Stmt],
+    ) -> "Foreach":
+        return Foreach(target, iterable, tuple(body))
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    """A sequence of statements (grouping helper)."""
+
+    body: Tuple[Stmt, ...]
+
+    @staticmethod
+    def of(*body: Stmt) -> "Block":
+        return Block(tuple(body))

@@ -1,0 +1,59 @@
+"""Channel value operations: bags and FIFO queues.
+
+Bag channels (the default throughout the paper) are
+:class:`~repro.core.multiset.Multiset` values — the network may reorder and
+delay messages arbitrarily. FIFO channels (used by Producer-Consumer) are
+tuples delivering in order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..core.multiset import EMPTY
+
+__all__ = [
+    "empty_channel",
+    "channel_send",
+    "channel_receives",
+    "channel_len",
+]
+
+
+def empty_channel(kind: str):
+    """The empty channel of the given kind (``"bag"`` or ``"fifo"``)."""
+    if kind == "bag":
+        return EMPTY
+    if kind == "fifo":
+        return ()
+    raise ValueError(f"unknown channel kind {kind!r}")
+
+
+def channel_send(channel, message, kind: str):
+    """Append a message."""
+    if kind == "bag":
+        return channel.add(message)
+    if kind == "fifo":
+        return channel + (message,)
+    raise ValueError(f"unknown channel kind {kind!r}")
+
+
+def channel_receives(channel, kind: str) -> Iterator[Tuple[object, object]]:
+    """All possible single-message deliveries: ``(message, rest)`` pairs.
+
+    Bags deliver any present message; FIFOs only the head. An empty channel
+    yields nothing (the receive blocks).
+    """
+    if kind == "bag":
+        for message in channel.support():
+            yield message, channel.remove(message)
+    elif kind == "fifo":
+        if channel:
+            yield channel[0], channel[1:]
+    else:
+        raise ValueError(f"unknown channel kind {kind!r}")
+
+
+def channel_len(channel) -> int:
+    """Number of messages currently in the channel."""
+    return len(channel)

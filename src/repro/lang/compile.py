@@ -1,0 +1,217 @@
+"""Atomic summarization: compile whole procedures into atomic actions.
+
+This is the reduction endpoint of CIVL's layered refinement
+:math:`\\mathcal{P}_1 \\preccurlyeq \\mathcal{P}_2` (Section 5.2, "Atomic
+actions"): every procedure is summarized into a single gated atomic action
+whose transitions are the *complete big-step runs* of the body — receives
+enumerate all deliverable messages, havocs enumerate their domains, blocked
+branches (empty receive, false assume) contribute nothing, and any run
+reaching a failing assert excludes the initial store from the gate.
+
+Asynchronous calls inside the body become pending asyncs of the summary
+(the callee's future effect is *not* inlined — that is exactly what IS
+later eliminates). When the module declares the ghost ``pendingAsyncs``
+global, the summary maintains it: the executing PA is removed and the
+spawned PAs are added, matching the hand-written actions of Figure 4(b).
+
+Whether summarization is *sound* is the business of Lipton reduction
+(``repro.reduction.lipton``): every control path must follow the
+right-movers / one non-mover / left-movers pattern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from ..core.action import Action, PendingAsync, Transition
+from ..core.multiset import Multiset
+from ..core.program import MAIN, Program
+from ..core.store import Store
+from ..protocols.common import GHOST, ghost_step
+from .ast_nodes import (
+    Assert,
+    Assign,
+    Assume,
+    Async,
+    Havoc,
+    MapAssign,
+    Receive,
+    Send,
+    Skip,
+)
+from .channels import channel_receives, channel_send
+from .interp import Module, Procedure
+from .lower import CJump, IterInit, IterNext, Jump, Prim
+
+__all__ = ["SummaryExplosion", "summarize_procedure", "summarize_module"]
+
+
+class SummaryExplosion(RuntimeError):
+    """A big-step run exceeded the step budget (diverging loop?)."""
+
+
+@dataclass
+class _Run:
+    """One big-step execution prefix: combined store + pc + spawned PAs."""
+
+    env: Store
+    pc: int
+    spawned: Tuple[PendingAsync, ...]
+
+
+def _proc_action_name(module: Module, proc: Procedure) -> str:
+    return MAIN if proc.name == module.main else proc.name
+
+
+def _spawn(module: Module, stmt: Async, env: Store) -> PendingAsync:
+    callee = module.procedure(stmt.proc)
+    args = Store({k: e.eval(env) for k, e in stmt.args})
+    return PendingAsync(_proc_action_name(module, callee), args)
+
+
+def _big_step(
+    module: Module,
+    proc: Procedure,
+    state: Store,
+    max_steps: int = 100_000,
+) -> Tuple[List[_Run], bool]:
+    """All complete runs of ``proc`` from the combined store ``state``,
+    plus a flag indicating whether some run fails an assertion.
+
+    ``state`` must contain the globals and the parameter values; declared
+    and hidden locals are initialized here.
+    """
+    params = {p: state[p] for p in proc.params}
+    frame = proc.local_frame(params)
+    initial = _Run(state.merge(frame), 0, ())
+    completed: List[_Run] = []
+    failed = False
+    stack = [initial]
+    budget = max_steps
+
+    while stack:
+        run = stack.pop()
+        budget -= 1
+        if budget < 0:
+            raise SummaryExplosion(
+                f"summarization of {proc.name} exceeded {max_steps} steps"
+            )
+        if run.pc >= len(proc.instrs):
+            completed.append(run)
+            continue
+        instr = proc.instrs[run.pc]
+        env, pc = run.env, run.pc
+
+        if isinstance(instr, Prim):
+            stmt = instr.stmt
+            if isinstance(stmt, Skip):
+                stack.append(_Run(env, pc + 1, run.spawned))
+            elif isinstance(stmt, Assign):
+                stack.append(
+                    _Run(env.set(stmt.target, stmt.expr.eval(env)), pc + 1, run.spawned)
+                )
+            elif isinstance(stmt, MapAssign):
+                mapping = env[stmt.target].set(
+                    stmt.key.eval(env), stmt.expr.eval(env)
+                )
+                stack.append(_Run(env.set(stmt.target, mapping), pc + 1, run.spawned))
+            elif isinstance(stmt, Havoc):
+                for value in stmt.choices(env):
+                    stack.append(
+                        _Run(env.set(stmt.target, value), pc + 1, run.spawned)
+                    )
+            elif isinstance(stmt, Assume):
+                if stmt.cond.eval(env):
+                    stack.append(_Run(env, pc + 1, run.spawned))
+            elif isinstance(stmt, Assert):
+                if stmt.cond.eval(env):
+                    stack.append(_Run(env, pc + 1, run.spawned))
+                else:
+                    failed = True
+            elif isinstance(stmt, Send):
+                channels = env[stmt.channel]
+                key = stmt.key.eval(env)
+                channels = channels.set(
+                    key, channel_send(channels[key], stmt.message.eval(env), stmt.kind)
+                )
+                stack.append(
+                    _Run(env.set(stmt.channel, channels), pc + 1, run.spawned)
+                )
+            elif isinstance(stmt, Receive):
+                channels = env[stmt.channel]
+                key = stmt.key.eval(env)
+                for message, rest in channel_receives(channels[key], stmt.kind):
+                    updated = env.set(stmt.channel, channels.set(key, rest))
+                    stack.append(
+                        _Run(updated.set(stmt.target, message), pc + 1, run.spawned)
+                    )
+            elif isinstance(stmt, Async):
+                spawned = run.spawned + (_spawn(module, stmt, env),)
+                stack.append(_Run(env, pc + 1, spawned))
+            else:  # pragma: no cover
+                raise TypeError(f"unsupported primitive {stmt!r}")
+        elif isinstance(instr, Jump):
+            stack.append(_Run(env, instr.target, run.spawned))
+        elif isinstance(instr, CJump):
+            target = instr.then if instr.cond.eval(env) else instr.orelse
+            stack.append(_Run(env, target, run.spawned))
+        elif isinstance(instr, IterInit):
+            snapshot = tuple(instr.iterable(env))
+            updated = env.set(instr.it_var, snapshot).set(instr.ix_var, 0)
+            stack.append(_Run(updated, pc + 1, run.spawned))
+        elif isinstance(instr, IterNext):
+            snapshot = env[instr.it_var]
+            index = env[instr.ix_var]
+            if index < len(snapshot):
+                updated = env.set(instr.target, snapshot[index]).set(
+                    instr.ix_var, index + 1
+                )
+                stack.append(_Run(updated, pc + 1, run.spawned))
+            else:
+                stack.append(_Run(env, instr.done, run.spawned))
+        else:  # pragma: no cover
+            raise TypeError(f"unsupported instruction {instr!r}")
+
+    return completed, failed
+
+
+def summarize_procedure(module: Module, proc: Procedure) -> Action:
+    """The atomic action summarizing all complete runs of ``proc``."""
+    name = _proc_action_name(module, proc)
+    global_vars = module.global_vars
+    track_ghost = GHOST in global_vars
+
+    def self_pa(state: Store) -> PendingAsync:
+        return PendingAsync(name, state.restrict(proc.params))
+
+    def gate(state: Store) -> bool:
+        _, failed = _big_step(module, proc, state)
+        return not failed
+
+    def transitions(state: Store) -> Iterator[Transition]:
+        completed, _ = _big_step(module, proc, state)
+        seen = set()
+        for run in completed:
+            created = Multiset(run.spawned)
+            new_global = run.env.restrict(global_vars)
+            if track_ghost:
+                new_global = new_global.set(
+                    GHOST, ghost_step(state, self_pa(state), run.spawned)
+                )
+            tr = Transition(new_global, created)
+            if tr not in seen:
+                seen.add(tr)
+                yield tr
+
+    return Action(name, gate, transitions, params=proc.params)
+
+
+def summarize_module(module: Module) -> Program:
+    """The atomic-action program :math:`\\mathcal{P}_2`: every procedure
+    summarized into one action."""
+    actions: Dict[str, Action] = {}
+    for proc in module.procedures.values():
+        action = summarize_procedure(module, proc)
+        actions[action.name] = action
+    return Program(actions, global_vars=module.global_vars)

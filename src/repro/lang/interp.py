@@ -1,0 +1,250 @@
+"""Fine-grained semantics: a module of procedures as a low-level program.
+
+:func:`build_finegrained` turns a :class:`Module` into the paper's
+:math:`\\mathcal{P}_1`: one gated atomic action *per instruction*, where a
+pending async ``proc#pc`` carries the procedure's local store. Executing an
+instruction performs its (single, fine-grained) effect and creates a
+continuation PA to the next instruction — plus a PA to the callee's entry
+for ``async`` calls. Falling off the end of a body terminates the instance.
+
+The entry instruction of the main procedure is named ``Main``, as required
+by the program well-formedness condition of Section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.action import Action, PendingAsync, Transition
+from ..core.multiset import Multiset
+from ..core.program import MAIN, Program
+from ..core.store import Store
+from .ast_nodes import (
+    Assert,
+    Assign,
+    Assume,
+    Async,
+    Havoc,
+    MapAssign,
+    Receive,
+    Send,
+    Skip,
+    Stmt,
+)
+from .channels import channel_receives, channel_send
+from .lower import CJump, Instr, IterInit, IterNext, Jump, Prim, hidden_locals, lower
+
+__all__ = ["Procedure", "Module", "build_finegrained", "action_name"]
+
+
+@dataclass
+class Procedure:
+    """A procedure: parameters, declared locals with initial values, body.
+
+    ``linear_class`` declares CIVL-style linear-permission chaining: all
+    procedures sharing a class have *at most one live instance between
+    them* at any time (the idiom of a task chain like
+    ``Consume(x) -> Consume(x+1)``, where the permission is handed from
+    each instance to its successor). The reduction analysis both exploits
+    this (excluding impossible pairs from commutation checking) and
+    validates it on the explored state space.
+    """
+
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple[Stmt, ...]
+    locals: Dict[str, object] = field(default_factory=dict)
+    linear_class: Optional[str] = None
+    #: True for message handlers that may have several live instances with
+    #: identical parameters (e.g. two Chang-Roberts handlers at one node,
+    #: one per in-flight message). Disables instance-based exclusion in the
+    #: mover analysis for this procedure.
+    multi_instance: bool = False
+
+    def __post_init__(self) -> None:
+        self.params = tuple(self.params)
+        self.body = tuple(self.body)
+        self._instrs: Optional[List[Instr]] = None
+
+    @property
+    def instrs(self) -> List[Instr]:
+        if self._instrs is None:
+            self._instrs = lower(self.body)
+        return self._instrs
+
+    def local_frame(self, args: Mapping[str, object]) -> Store:
+        """The initial local store of an instance: arguments, declared
+        locals at their initial values, hidden loop locals at ``None``."""
+        missing = [p for p in self.params if p not in args]
+        if missing:
+            raise ValueError(f"{self.name}: missing arguments {missing}")
+        frame = dict(self.locals)
+        for name in hidden_locals(self.instrs):
+            frame.setdefault(name, None)
+        frame.update(args)
+        return Store(frame)
+
+
+@dataclass
+class Module:
+    """A collection of procedures with shared globals; ``main`` is the
+    entry procedure (spawned once with the given arguments)."""
+
+    procedures: Dict[str, Procedure]
+    global_vars: Tuple[str, ...]
+    main: str = MAIN
+
+    def __post_init__(self) -> None:
+        if self.main not in self.procedures:
+            raise ValueError(f"main procedure {self.main!r} not defined")
+        self.global_vars = tuple(self.global_vars)
+
+    def procedure(self, name: str) -> Procedure:
+        return self.procedures[name]
+
+    def initial_main_locals(self, **args: object) -> Store:
+        return self.procedures[self.main].local_frame(args)
+
+
+def action_name(module: Module, proc: str, pc: int) -> str:
+    """Action name of instruction ``pc`` of ``proc`` (main entry = Main)."""
+    if proc == module.main and pc == 0:
+        return MAIN
+    return f"{proc}#{pc}"
+
+
+def _continuation(
+    module: Module, proc: Procedure, pc: int, locals_: Store
+) -> List[PendingAsync]:
+    """PA to the next instruction, or nothing at the end of the body."""
+    if pc >= len(proc.instrs):
+        return []
+    return [PendingAsync(action_name(module, proc.name, pc), locals_)]
+
+
+def _build_instruction_action(
+    module: Module, proc: Procedure, pc: int
+) -> Action:
+    instr = proc.instrs[pc]
+    global_vars = module.global_vars
+    name = action_name(module, proc.name, pc)
+
+    def globals_of(state: Store) -> Store:
+        return state.restrict(global_vars)
+
+    def cont(state: Store, next_pc: int, extra: Sequence[PendingAsync] = ()):
+        locals_ = state.without(global_vars)
+        created = _continuation(module, proc, next_pc, locals_)
+        created.extend(extra)
+        return Transition(globals_of(state), Multiset(created))
+
+    gate = lambda _s: True  # noqa: E731 - overridden for Assert below
+
+    if isinstance(instr, Prim):
+        stmt = instr.stmt
+
+        if isinstance(stmt, Skip):
+            def transitions(state: Store) -> Iterator[Transition]:
+                yield cont(state, pc + 1)
+
+        elif isinstance(stmt, Assign):
+            def transitions(state: Store) -> Iterator[Transition]:
+                yield cont(state.set(stmt.target, stmt.expr.eval(state)), pc + 1)
+
+        elif isinstance(stmt, MapAssign):
+            def transitions(state: Store) -> Iterator[Transition]:
+                mapping = state[stmt.target]
+                updated = mapping.set(stmt.key.eval(state), stmt.expr.eval(state))
+                yield cont(state.set(stmt.target, updated), pc + 1)
+
+        elif isinstance(stmt, Havoc):
+            def transitions(state: Store) -> Iterator[Transition]:
+                for value in stmt.choices(state):
+                    yield cont(state.set(stmt.target, value), pc + 1)
+
+        elif isinstance(stmt, Assume):
+            def transitions(state: Store) -> Iterator[Transition]:
+                if stmt.cond.eval(state):
+                    yield cont(state, pc + 1)
+
+        elif isinstance(stmt, Assert):
+            gate = lambda state: bool(stmt.cond.eval(state))  # noqa: E731
+
+            def transitions(state: Store) -> Iterator[Transition]:
+                yield cont(state, pc + 1)
+
+        elif isinstance(stmt, Send):
+            def transitions(state: Store) -> Iterator[Transition]:
+                channels = state[stmt.channel]
+                key = stmt.key.eval(state)
+                updated = channels.set(
+                    key,
+                    channel_send(channels[key], stmt.message.eval(state), stmt.kind),
+                )
+                yield cont(state.set(stmt.channel, updated), pc + 1)
+
+        elif isinstance(stmt, Receive):
+            def transitions(state: Store) -> Iterator[Transition]:
+                channels = state[stmt.channel]
+                key = stmt.key.eval(state)
+                for message, rest in channel_receives(channels[key], stmt.kind):
+                    updated = state.set(stmt.channel, channels.set(key, rest))
+                    yield cont(updated.set(stmt.target, message), pc + 1)
+
+        elif isinstance(stmt, Async):
+            def transitions(state: Store) -> Iterator[Transition]:
+                callee = module.procedure(stmt.proc)
+                args = {k: e.eval(state) for k, e in stmt.args}
+                spawned = PendingAsync(
+                    action_name(module, callee.name, 0), callee.local_frame(args)
+                )
+                yield cont(state, pc + 1, extra=[spawned])
+
+        else:  # pragma: no cover - lowering only produces the above
+            raise TypeError(f"unsupported primitive {stmt!r}")
+
+    elif isinstance(instr, Jump):
+        def transitions(state: Store) -> Iterator[Transition]:
+            yield cont(state, instr.target)
+
+    elif isinstance(instr, CJump):
+        def transitions(state: Store) -> Iterator[Transition]:
+            target = instr.then if instr.cond.eval(state) else instr.orelse
+            yield cont(state, target)
+
+    elif isinstance(instr, IterInit):
+        def transitions(state: Store) -> Iterator[Transition]:
+            snapshot = tuple(instr.iterable(state))
+            updated = state.set(instr.it_var, snapshot).set(instr.ix_var, 0)
+            yield cont(updated, pc + 1)
+
+    elif isinstance(instr, IterNext):
+        def transitions(state: Store) -> Iterator[Transition]:
+            snapshot = state[instr.it_var]
+            index = state[instr.ix_var]
+            if index < len(snapshot):
+                updated = state.set(instr.target, snapshot[index]).set(
+                    instr.ix_var, index + 1
+                )
+                yield cont(updated, pc + 1)
+            else:
+                yield cont(state, instr.done)
+
+    else:  # pragma: no cover
+        raise TypeError(f"unsupported instruction {instr!r}")
+
+    return Action(name, gate, transitions, params=proc.params)
+
+
+def build_finegrained(module: Module) -> Program:
+    """The low-level program :math:`\\mathcal{P}_1` of a module: one action
+    per instruction of every procedure."""
+    actions: Dict[str, Action] = {}
+    for proc in module.procedures.values():
+        for pc in range(len(proc.instrs)):
+            name = action_name(module, proc.name, pc)
+            actions[name] = _build_instruction_action(module, proc, pc)
+        if not proc.instrs:
+            raise ValueError(f"procedure {proc.name!r} has an empty body")
+    return Program(actions, global_vars=module.global_vars)

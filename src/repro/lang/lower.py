@@ -1,0 +1,178 @@
+"""Lowering of structured statements to a flat control-flow graph.
+
+Procedure bodies are compiled to a list of instructions addressed by
+program counter. Each instruction becomes one fine-grained atomic action of
+the low-level program :math:`\\mathcal{P}_1` (see ``repro.lang.interp``);
+pending asyncs carry the local store, and the program counter is encoded in
+the action name, so a continuation is just a PA to the next instruction.
+
+``Foreach`` loops snapshot their (finite, deterministically ordered)
+iterable into a hidden local at loop entry, then step through it with an
+index — both hidden locals live in the PA's local store like any other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+from ..core.store import Store
+from .ast_nodes import (
+    Assert,
+    Assign,
+    Assume,
+    Async,
+    Block,
+    Expr,
+    Foreach,
+    Havoc,
+    If,
+    MapAssign,
+    Receive,
+    Send,
+    Skip,
+    Stmt,
+    While,
+)
+
+__all__ = ["Instr", "Prim", "Jump", "CJump", "IterInit", "IterNext", "lower"]
+
+
+class Instr:
+    """Base class of lowered instructions."""
+
+
+@dataclass(frozen=True)
+class Prim(Instr):
+    """A primitive statement executed as one atomic step."""
+
+    stmt: Stmt
+
+    def __repr__(self) -> str:
+        return f"Prim({type(self.stmt).__name__})"
+
+
+@dataclass(frozen=True)
+class Jump(Instr):
+    """Unconditional jump."""
+
+    target: int
+
+
+@dataclass(frozen=True)
+class CJump(Instr):
+    """Conditional jump: to ``then`` if the condition holds, else ``orelse``."""
+
+    cond: Expr
+    then: int
+    orelse: int
+
+
+@dataclass(frozen=True)
+class IterInit(Instr):
+    """Snapshot a ``Foreach`` iterable into hidden locals ``it``/``ix``."""
+
+    it_var: str
+    ix_var: str
+    iterable: Callable[[Store], Sequence[object]]
+
+
+@dataclass(frozen=True)
+class IterNext(Instr):
+    """Advance a ``Foreach``: bind the next element and fall through, or
+    jump to ``done`` when exhausted."""
+
+    it_var: str
+    ix_var: str
+    target: str
+    done: int
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.instrs: List[Instr] = []
+        self._loop_counter = 0
+
+    def emit(self, instr: Instr) -> int:
+        self.instrs.append(instr)
+        return len(self.instrs) - 1
+
+    def here(self) -> int:
+        return len(self.instrs)
+
+    def patch(self, index: int, instr: Instr) -> None:
+        self.instrs[index] = instr
+
+    def fresh_loop_vars(self) -> Tuple[str, str]:
+        self._loop_counter += 1
+        return f"$it{self._loop_counter}", f"$ix{self._loop_counter}"
+
+
+def _lower_stmt(builder: _Builder, stmt: Stmt) -> None:
+    if isinstance(stmt, Block):
+        for inner in stmt.body:
+            _lower_stmt(builder, inner)
+    elif isinstance(stmt, If):
+        placeholder = builder.emit(Jump(-1))
+        for inner in stmt.then:
+            _lower_stmt(builder, inner)
+        if stmt.orelse:
+            jump_end = builder.emit(Jump(-1))
+            else_start = builder.here()
+            for inner in stmt.orelse:
+                _lower_stmt(builder, inner)
+            end = builder.here()
+            builder.patch(placeholder, CJump(stmt.cond, placeholder + 1, else_start))
+            builder.patch(jump_end, Jump(end))
+        else:
+            end = builder.here()
+            builder.patch(placeholder, CJump(stmt.cond, placeholder + 1, end))
+    elif isinstance(stmt, While):
+        top = builder.here()
+        placeholder = builder.emit(Jump(-1))
+        for inner in stmt.body:
+            _lower_stmt(builder, inner)
+        builder.emit(Jump(top))
+        end = builder.here()
+        builder.patch(placeholder, CJump(stmt.cond, placeholder + 1, end))
+    elif isinstance(stmt, Foreach):
+        it_var, ix_var = builder.fresh_loop_vars()
+        builder.emit(IterInit(it_var, ix_var, stmt.iterable))
+        top = builder.here()
+        placeholder = builder.emit(Jump(-1))
+        for inner in stmt.body:
+            _lower_stmt(builder, inner)
+        builder.emit(Jump(top))
+        end = builder.here()
+        builder.patch(placeholder, IterNext(it_var, ix_var, stmt.target, end))
+    elif isinstance(
+        stmt,
+        (Skip, Assign, MapAssign, Havoc, Assume, Assert, Send, Receive, Async),
+    ):
+        builder.emit(Prim(stmt))
+    else:
+        raise TypeError(f"cannot lower statement {stmt!r}")
+
+
+def lower(body: Sequence[Stmt]) -> List[Instr]:
+    """Lower a statement sequence to a flat instruction list.
+
+    Falling off the end of the list terminates the procedure instance (the
+    pending async produces no continuation).
+    """
+    builder = _Builder()
+    for stmt in body:
+        _lower_stmt(builder, stmt)
+    return builder.instrs
+
+
+def hidden_locals(instrs: Sequence[Instr]) -> List[str]:
+    """Hidden iteration locals introduced by lowering (with initial ``None``
+    values these must be part of every PA's local store)."""
+    names: List[str] = []
+    for instr in instrs:
+        if isinstance(instr, IterInit):
+            names.extend([instr.it_var, instr.ix_var])
+        if isinstance(instr, IterNext):
+            names.append(instr.target)
+    return list(dict.fromkeys(names))

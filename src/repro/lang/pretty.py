@@ -1,0 +1,117 @@
+"""Pretty-printer: render mini-CIVL modules as paper-style listings.
+
+Produces the concrete syntax used in Figure 1-① of the paper (``proc``,
+``async``, ``send``/``receive``, ``for``/``if``), so examples and
+documentation can show the programs under verification as readable source
+rather than ASTs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast_nodes import (
+    Assert,
+    Assign,
+    Assume,
+    Async,
+    Block,
+    Foreach,
+    Havoc,
+    If,
+    MapAssign,
+    Receive,
+    Send,
+    Skip,
+    Stmt,
+    While,
+)
+from .interp import Module, Procedure
+
+__all__ = ["pretty_stmt", "pretty_procedure", "pretty_module"]
+
+_INDENT = "    "
+
+
+def _line(depth: int, text: str) -> str:
+    return _INDENT * depth + text
+
+
+def _stmt_lines(stmt: Stmt, depth: int) -> List[str]:
+    if isinstance(stmt, Skip):
+        return [_line(depth, "skip")]
+    if isinstance(stmt, Assign):
+        return [_line(depth, f"{stmt.target} := {stmt.expr!r}")]
+    if isinstance(stmt, MapAssign):
+        return [_line(depth, f"{stmt.target}[{stmt.key!r}] := {stmt.expr!r}")]
+    if isinstance(stmt, Havoc):
+        return [_line(depth, f"havoc {stmt.target}")]
+    if isinstance(stmt, Assume):
+        return [_line(depth, f"assume {stmt.cond!r}")]
+    if isinstance(stmt, Assert):
+        return [_line(depth, f"assert {stmt.cond!r}")]
+    if isinstance(stmt, Send):
+        kind = "" if stmt.kind == "bag" else f" [{stmt.kind}]"
+        return [
+            _line(depth, f"send {stmt.message!r} {stmt.channel}[{stmt.key!r}]{kind}")
+        ]
+    if isinstance(stmt, Receive):
+        kind = "" if stmt.kind == "bag" else f" [{stmt.kind}]"
+        return [
+            _line(
+                depth,
+                f"{stmt.target} := receive {stmt.channel}[{stmt.key!r}]{kind}",
+            )
+        ]
+    if isinstance(stmt, Async):
+        args = ", ".join(f"{k}={e!r}" for k, e in stmt.args)
+        return [_line(depth, f"async {stmt.proc}({args})")]
+    if isinstance(stmt, If):
+        lines = [_line(depth, f"if {stmt.cond!r}:")]
+        for inner in stmt.then:
+            lines.extend(_stmt_lines(inner, depth + 1))
+        if stmt.orelse:
+            lines.append(_line(depth, "else:"))
+            for inner in stmt.orelse:
+                lines.extend(_stmt_lines(inner, depth + 1))
+        return lines
+    if isinstance(stmt, While):
+        lines = [_line(depth, f"while {stmt.cond!r}:")]
+        for inner in stmt.body:
+            lines.extend(_stmt_lines(inner, depth + 1))
+        return lines
+    if isinstance(stmt, Foreach):
+        lines = [_line(depth, f"for {stmt.target} in <domain>:")]
+        for inner in stmt.body:
+            lines.extend(_stmt_lines(inner, depth + 1))
+        return lines
+    if isinstance(stmt, Block):
+        lines: List[str] = []
+        for inner in stmt.body:
+            lines.extend(_stmt_lines(inner, depth))
+        return lines
+    raise TypeError(f"cannot pretty-print {stmt!r}")
+
+
+def pretty_stmt(stmt: Stmt, depth: int = 0) -> str:
+    """Render one statement (tree) as indented text."""
+    return "\n".join(_stmt_lines(stmt, depth))
+
+
+def pretty_procedure(proc: Procedure) -> str:
+    """Render a procedure as a ``proc name(params):`` block."""
+    params = ", ".join(proc.params)
+    suffix = f"  // linear class: {proc.linear_class}" if proc.linear_class else ""
+    lines = [f"proc {proc.name}({params}):{suffix}"]
+    for stmt in proc.body:
+        lines.extend(_stmt_lines(stmt, 1))
+    return "\n".join(lines)
+
+
+def pretty_module(module: Module) -> str:
+    """Render a whole module, main procedure first."""
+    ordered = [module.procedures[module.main]] + [
+        proc for name, proc in module.procedures.items() if name != module.main
+    ]
+    header = f"// globals: {', '.join(module.global_vars)}"
+    return "\n\n".join([header] + [pretty_procedure(proc) for proc in ordered])

@@ -1,0 +1,34 @@
+"""Enumerative first-order logic over finite domains (the baseline's
+invariant language)."""
+
+from .formulas import (
+    And,
+    Atom,
+    Exists,
+    FALSE,
+    Forall,
+    Formula,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    check_validity,
+    count_atoms,
+    count_conjuncts,
+)
+
+__all__ = [
+    "And",
+    "Atom",
+    "Exists",
+    "FALSE",
+    "Forall",
+    "Formula",
+    "Implies",
+    "Not",
+    "Or",
+    "TRUE",
+    "check_validity",
+    "count_atoms",
+    "count_conjuncts",
+]

@@ -1,0 +1,265 @@
+"""First-order formulas over finite domains, with enumerative checking.
+
+The baseline methodology the paper compares against (Section 5.2,
+"Invariant complexity") states flat "asynchrony-aware" inductive invariants
+as first-order formulas — e.g. invariant (2) of Section 2.1 or the Ivy
+invariants of "Paxos made EPR" [39]. This module provides a formula AST,
+evaluation against program states, enumerative validity checking over
+finite domains (the offline substitute for an SMT/EPR solver), and conjunct
+counting — the complexity metric used in the comparison benchmark.
+
+Formulas evaluate against an *environment*: a mapping from names to values,
+typically a :class:`~repro.core.store.Store` combined with bound variables.
+Atoms are arbitrary Python predicates over the environment, so protocol
+state of any shape can be inspected.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Formula",
+    "Atom",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Forall",
+    "Exists",
+    "TRUE",
+    "FALSE",
+    "count_conjuncts",
+    "check_validity",
+]
+
+
+class _Env:
+    """A chain-map of bindings over a base mapping."""
+
+    __slots__ = ("base", "bindings")
+
+    def __init__(self, base, bindings: Optional[Dict[str, object]] = None):
+        self.base = base
+        self.bindings = bindings or {}
+
+    def bind(self, name: str, value: object) -> "_Env":
+        bindings = dict(self.bindings)
+        bindings[name] = value
+        return _Env(self.base, bindings)
+
+    def __getitem__(self, name: str) -> object:
+        if name in self.bindings:
+            return self.bindings[name]
+        return self.base[name]
+
+    def get(self, name: str, default=None):
+        if name in self.bindings:
+            return self.bindings[name]
+        try:
+            return self.base[name]
+        except KeyError:
+            return default
+
+
+class Formula:
+    """Base class of formulas."""
+
+    def holds(self, env) -> bool:
+        """Evaluate against an environment (store or mapping)."""
+        return self._eval(env if isinstance(env, _Env) else _Env(env))
+
+    def _eval(self, env: _Env) -> bool:
+        raise NotImplementedError
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And((self, other))
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or((self, other))
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        """``p >> q`` is implication."""
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """An atomic predicate: a named Python function of the environment.
+
+    Bound quantifier variables are visible through the environment, e.g.
+    ``Atom("decided", lambda e: e["decision"][e["r"]] is not None)``.
+    """
+
+    name: str
+    predicate: Callable
+
+    def _eval(self, env: _Env) -> bool:
+        return bool(self.predicate(env))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def _eval(self, env: _Env) -> bool:
+        return not self.operand._eval(env)
+
+    def __repr__(self) -> str:
+        return f"¬{self.operand!r}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    operands: Tuple[Formula, ...]
+
+    def __init__(self, operands: Iterable[Formula]):
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def _eval(self, env: _Env) -> bool:
+        return all(op._eval(env) for op in self.operands)
+
+    def __repr__(self) -> str:
+        return "(" + " ∧ ".join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    operands: Tuple[Formula, ...]
+
+    def __init__(self, operands: Iterable[Formula]):
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def _eval(self, env: _Env) -> bool:
+        return any(op._eval(env) for op in self.operands)
+
+    def __repr__(self) -> str:
+        return "(" + " ∨ ".join(repr(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    antecedent: Formula
+    consequent: Formula
+
+    def _eval(self, env: _Env) -> bool:
+        return (not self.antecedent._eval(env)) or self.consequent._eval(env)
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r} ⇒ {self.consequent!r})"
+
+
+def _domain_of(domain, env: _Env):
+    return domain(env) if callable(domain) else domain
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """``∀ vars ∈ domain. body``; the domain may depend on the state."""
+
+    variables: Tuple[str, ...]
+    domain: object  # iterable or callable(env) -> iterable
+    body: Formula
+
+    def __init__(self, variables, domain, body: Formula):
+        if isinstance(variables, str):
+            variables = (variables,)
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "domain", domain)
+        object.__setattr__(self, "body", body)
+
+    def _eval(self, env: _Env) -> bool:
+        values = list(_domain_of(self.domain, env))
+        for assignment in itertools.product(values, repeat=len(self.variables)):
+            bound = env
+            for name, value in zip(self.variables, assignment):
+                bound = bound.bind(name, value)
+            if not self.body._eval(bound):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"∀{','.join(self.variables)}. {self.body!r}"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """``∃ vars ∈ domain. body``."""
+
+    variables: Tuple[str, ...]
+    domain: object
+    body: Formula
+
+    def __init__(self, variables, domain, body: Formula):
+        if isinstance(variables, str):
+            variables = (variables,)
+        object.__setattr__(self, "variables", tuple(variables))
+        object.__setattr__(self, "domain", domain)
+        object.__setattr__(self, "body", body)
+
+    def _eval(self, env: _Env) -> bool:
+        values = list(_domain_of(self.domain, env))
+        for assignment in itertools.product(values, repeat=len(self.variables)):
+            bound = env
+            for name, value in zip(self.variables, assignment):
+                bound = bound.bind(name, value)
+            if self.body._eval(bound):
+                return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"∃{','.join(self.variables)}. {self.body!r}"
+
+
+TRUE = Atom("true", lambda _e: True)
+FALSE = Atom("false", lambda _e: False)
+
+
+def count_conjuncts(formula: Formula) -> int:
+    """The invariant-complexity metric: number of top-level conjuncts,
+    looking through quantifiers (matching how the Ivy invariants of [39]
+    are counted as a list of formulas)."""
+    if isinstance(formula, And):
+        return sum(count_conjuncts(op) for op in formula.operands)
+    if isinstance(formula, (Forall, Exists)):
+        return count_conjuncts(formula.body)
+    return 1
+
+
+def count_atoms(formula: Formula) -> int:
+    """Number of atomic predicates anywhere in the formula — the size
+    metric for disjunctive invariants like invariant (2), whose complexity
+    lives in its per-phase disjuncts rather than top-level conjuncts."""
+    if isinstance(formula, Atom):
+        return 1
+    if isinstance(formula, Not):
+        return count_atoms(formula.operand)
+    if isinstance(formula, (And, Or)):
+        return sum(count_atoms(op) for op in formula.operands)
+    if isinstance(formula, Implies):
+        return count_atoms(formula.antecedent) + count_atoms(formula.consequent)
+    if isinstance(formula, (Forall, Exists)):
+        return count_atoms(formula.body)
+    raise TypeError(f"unknown formula {formula!r}")
+
+
+def check_validity(
+    formula: Formula, states: Iterable, limit: int = 5
+) -> Tuple[bool, List[object]]:
+    """Evaluate a closed formula over a set of states; returns whether it
+    holds everywhere plus up to ``limit`` counterexample states."""
+    counterexamples: List[object] = []
+    for state in states:
+        if not formula.holds(state):
+            counterexamples.append(state)
+            if len(counterexamples) >= limit:
+                break
+    return not counterexamples, counterexamples

@@ -1,0 +1,244 @@
+"""Shared infrastructure for the case-study protocols (Section 5).
+
+All protocols follow the paper's modelling conventions:
+
+* protocol state lives in map-valued globals
+  (:class:`~repro.core.mapping.FrozenDict`),
+* message channels are bags (:class:`~repro.core.multiset.Multiset`) unless
+  a protocol explicitly uses a FIFO queue,
+* a ghost global ``pendingAsyncs`` mirrors the configuration's PA multiset
+  :math:`\\Omega` (Figure 4(b)); every action updates it via
+  :func:`ghost_step`, and gates of IS abstractions may refer to it
+  (e.g. ``CollectAbs`` in Figure 1-④ asserts
+  :math:`\\forall j.\\ \\mathtt{Broadcast}(j) \\notin \\Omega`).
+
+The module also provides the common report type returned by each protocol's
+``verify`` entry point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.action import PendingAsync
+from ..core.multiset import EMPTY, Multiset
+from ..core.refinement import CheckResult
+from ..core.sequentialize import ISResult
+from ..core.store import Store
+
+__all__ = [
+    "GHOST",
+    "ghost_step",
+    "ghost_of",
+    "has_pa_to",
+    "count_pas_to",
+    "sub_multisets",
+    "bag_send",
+    "ProtocolReport",
+    "verify_protocol",
+    "timed",
+]
+
+#: Conventional name of the ghost pending-async variable.
+GHOST = "pendingAsyncs"
+
+
+def ghost_of(state: Store) -> Multiset:
+    """The ghost PA multiset of a (combined or global) store."""
+    return state[GHOST]
+
+
+def ghost_step(
+    state: Store,
+    self_pa: Optional[PendingAsync],
+    created: Iterable[PendingAsync] = (),
+) -> Multiset:
+    """Ghost update for one action execution: remove the executing PA, add
+    the created ones.
+
+    Removal is tolerant (no-op when absent) so that actions remain total on
+    the inconsistent stores enumerated during mover checks; along real
+    executions the ghost is exact.
+    """
+    ghost = ghost_of(state)
+    if self_pa is not None and self_pa in ghost:
+        ghost = ghost.remove(self_pa)
+    return ghost.union(Multiset(created))
+
+
+def has_pa_to(state: Store, action_name: str) -> bool:
+    """True if the ghost contains any PA to ``action_name``."""
+    return any(p.action == action_name for p in ghost_of(state).support())
+
+
+def count_pas_to(state: Store, action_name: str) -> int:
+    """Number of ghost PAs to ``action_name`` (with multiplicity)."""
+    return sum(
+        count for p, count in ghost_of(state).counts() if p.action == action_name
+    )
+
+
+def sub_multisets(bag: Multiset, size: int) -> Iterator[Multiset]:
+    """All distinct sub-multisets of ``bag`` with exactly ``size`` elements.
+
+    Used to enumerate the outcomes of a blocking ``receive(k)`` over a bag
+    channel: any ``k`` of the available messages may be delivered.
+    """
+    items: List[Tuple[object, int]] = sorted(bag.counts(), key=lambda kv: repr(kv[0]))
+
+    def recurse(index: int, remaining: int) -> Iterator[Dict[object, int]]:
+        if remaining == 0:
+            yield {}
+            return
+        if index >= len(items):
+            return
+        element, available = items[index]
+        max_take = min(available, remaining)
+        for take in range(max_take + 1):
+            for rest in recurse(index + 1, remaining - take):
+                if take:
+                    rest = dict(rest)
+                    rest[element] = take
+                yield rest
+
+    if size > len(bag):
+        return
+    for counts in recurse(0, size):
+        yield Multiset.from_counts(counts)
+
+
+def bag_send(channel: Multiset, message) -> Multiset:
+    """Append a message to a bag channel."""
+    return channel.add(message)
+
+
+@dataclass
+class ProtocolReport:
+    """Result of a protocol's full verification pipeline.
+
+    ``ok`` requires every IS application to pass, the sequential spec to
+    hold on the final program, and (when computed) the ground-truth
+    refinement check to pass.
+    """
+
+    name: str
+    parameters: Dict[str, object]
+    is_results: List[Tuple[str, ISResult]] = field(default_factory=list)
+    spec_ok: Optional[bool] = None
+    ground_truth: Optional[CheckResult] = None
+    timings: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_is_applications(self) -> int:
+        return len(self.is_results)
+
+    @property
+    def ok(self) -> bool:
+        if any(not result.holds for _, result in self.is_results):
+            return False
+        if self.spec_ok is False:
+            return False
+        if self.ground_truth is not None and not self.ground_truth.holds:
+            return False
+        return True
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.timings.values())
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else "FAILED"
+        parts = [f"{self.name}: {status} ({self.num_is_applications} IS applications,"
+                 f" {self.total_time:.2f}s)"]
+        for label, result in self.is_results:
+            parts.append(f"  IS[{label}]: {'PASS' if result.holds else 'FAIL'}")
+        if self.spec_ok is not None:
+            parts.append(f"  sequential spec: {'PASS' if self.spec_ok else 'FAIL'}")
+        if self.ground_truth is not None:
+            parts.append(
+                f"  ground-truth refinement: "
+                f"{'PASS' if self.ground_truth.holds else 'FAIL'}"
+            )
+        return "\n".join(parts)
+
+
+def verify_protocol(
+    name: str,
+    parameters: Dict[str, object],
+    original,
+    applications,
+    initial_global: Store,
+    spec_fn: Callable[[Store], bool],
+    ground_truth: bool = True,
+    max_configs: Optional[int] = None,
+) -> ProtocolReport:
+    """Generic protocol pipeline: check each IS application over the
+    reachable universe (under the ghost PA context), then the sequential
+    spec on the final program, then (optionally) ground-truth refinement.
+
+    ``applications`` is a list of ``(label, ISApplication)`` pairs whose
+    programs are already chained (each application's program is the output
+    of the previous one).
+    """
+    from ..core.context import GhostContext
+    from ..core.explore import instance_summary
+    from ..core.refinement import check_program_refinement
+    from ..core.semantics import initial_config
+    from ..core.store import EMPTY_STORE
+    from ..core.universe import StoreUniverse
+
+    report = ProtocolReport(name, dict(parameters))
+    final_program = original
+    for label, application in applications:
+        with timed(report, f"IS[{label}]"):
+            universe = StoreUniverse.from_reachable(
+                application.program,
+                [initial_config(initial_global)],
+                max_configs=max_configs,
+            ).with_context(GhostContext(GHOST))
+            result = application.check(universe)
+        report.is_results.append((label, result))
+        final_program = application.apply_and_drop()
+
+    with timed(report, "sequential spec"):
+        summary = instance_summary(final_program, initial_global)
+        report.spec_ok = (
+            not summary.can_fail
+            and bool(summary.final_globals)
+            and all(spec_fn(final) for final in summary.final_globals)
+        )
+
+    if ground_truth:
+        with timed(report, "ground truth"):
+            report.ground_truth = check_program_refinement(
+                original,
+                final_program,
+                [(initial_global, EMPTY_STORE)],
+                max_configs=max_configs,
+                name="P ≼ P' (exhaustive)",
+            )
+    return report
+
+
+class timed:
+    """Context manager recording elapsed wall-clock into a report's timings.
+
+    >>> with timed(report, "IS"):
+    ...     run_checks()
+    """
+
+    def __init__(self, report: ProtocolReport, label: str):
+        self.report = report
+        self.label = label
+
+    def __enter__(self) -> "timed":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        elapsed = time.perf_counter() - self._start
+        self.report.timings[self.label] = (
+            self.report.timings.get(self.label, 0.0) + elapsed
+        )

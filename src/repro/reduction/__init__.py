@@ -1,0 +1,21 @@
+"""Lipton reduction and layered refinement (the CIVL substrate)."""
+
+from .layers import LayerLink, RefinementChain, check_layer_refinement
+from .lipton import (
+    PhaseViolation,
+    ProcedurePattern,
+    ReductionAnalysis,
+    analyze_module,
+    successors,
+)
+
+__all__ = [
+    "LayerLink",
+    "RefinementChain",
+    "check_layer_refinement",
+    "PhaseViolation",
+    "ProcedurePattern",
+    "ReductionAnalysis",
+    "analyze_module",
+    "successors",
+]

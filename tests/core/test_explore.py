@@ -1,0 +1,124 @@
+"""Tests for explicit-state exploration (Good, Trans, sampling)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    EMPTY_STORE,
+    ExplorationBudgetExceeded,
+    Store,
+    explore,
+    good_and_trans,
+    initial_config,
+    instance_summary,
+    random_execution,
+    reachable_globals,
+    terminating_executions,
+)
+
+from ..conftest import make_assert_program, make_counter_program
+
+
+def test_explore_counter():
+    program = make_counter_program(increments=3)
+    result = explore(program, [initial_config(Store({"x": 0}))])
+    assert not result.can_fail
+    assert result.final_globals == {Store({"x": 3})}
+    # 1 initial + 1 post-Main spawn state per remaining-PA count (the Inc
+    # tasks are symmetric but carry distinct locals): configs = 1 + 2^3.
+    assert result.num_configs == 1 + 8
+
+
+def test_explore_budget():
+    program = make_counter_program(increments=4)
+    with pytest.raises(ExplorationBudgetExceeded):
+        explore(program, [initial_config(Store({"x": 0}))], max_configs=3)
+
+
+def test_explore_detects_failure():
+    program = make_assert_program(threshold=0)
+    result = explore(program, [initial_config(Store({"x": 0}))])
+    assert result.can_fail
+
+
+def test_explore_detects_deadlock():
+    from repro.core import Action, Multiset, Program, Transition, pa
+
+    def main(state):
+        yield Transition(state.restrict(["x"]), Multiset([pa("Stuck")]))
+
+    program = Program(
+        {
+            "Main": Action("Main", lambda _s: True, main),
+            "Stuck": Action("Stuck", lambda _s: True, lambda _s: iter(())),
+        },
+        global_vars=("x",),
+    )
+    result = explore(program, [initial_config(Store({"x": 0}))])
+    assert len(result.deadlocks) == 1
+
+
+def test_instance_summary():
+    program = make_counter_program(increments=2)
+    summary = instance_summary(program, Store({"x": 10}))
+    assert not summary.can_fail
+    assert summary.final_globals == {Store({"x": 12})}
+
+
+def test_good_and_trans():
+    program = make_assert_program(threshold=1)
+    good, trans = good_and_trans(
+        program, [(Store({"x": 0}), EMPTY_STORE), (Store({"x": 5}), EMPTY_STORE)]
+    )
+    assert Store({"x": 0}) in good  # 0 < 1 holds
+    assert Store({"x": 5}) not in good
+    assert (Store({"x": 0}), Store({"x": 0})) in trans
+
+
+def test_reachable_globals():
+    program = make_counter_program(increments=2)
+    globals_ = reachable_globals(program, [initial_config(Store({"x": 0}))])
+    assert {g["x"] for g in globals_} == {0, 1, 2}
+
+
+def test_random_execution_terminates():
+    program = make_counter_program(increments=3)
+    rng = random.Random(7)
+    execution = random_execution(program, initial_config(Store({"x": 0})), rng)
+    assert execution.terminating
+    execution.validate(program)
+
+
+def test_terminating_executions_enumerates_interleavings():
+    program = make_counter_program(increments=2)
+    runs = list(terminating_executions(program, initial_config(Store({"x": 0}))))
+    # Main first, then 2 orders of the Inc tasks.
+    assert len(runs) == 2
+    for execution in runs:
+        execution.validate(program)
+        assert execution.final.glob["x"] == 2
+
+
+def test_random_walk_finals_subset_of_exhaustive():
+    """Sampling agreement: final states reached by random scheduling are
+    always within the exhaustively computed set."""
+    from repro.protocols import broadcast
+
+    n = 3
+    program = broadcast.make_atomic(n)
+    g0 = broadcast.initial_global(n)
+    exhaustive = explore(program, [initial_config(g0)]).final_globals
+    rng = random.Random(3)
+    for _ in range(15):
+        execution = random_execution(program, initial_config(g0), rng)
+        if execution.terminating:
+            assert execution.final.glob in exhaustive
+
+
+def test_terminating_executions_limit():
+    program = make_counter_program(increments=3)
+    runs = list(
+        terminating_executions(program, initial_config(Store({"x": 0})), limit=2)
+    )
+    assert len(runs) == 2

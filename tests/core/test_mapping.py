@@ -1,0 +1,65 @@
+"""Tests for FrozenDict."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import FrozenDict
+
+data_strategy = st.dictionaries(st.integers(0, 5), st.integers(-3, 3), max_size=5)
+
+
+def test_get_set_immutability():
+    d = FrozenDict({1: "a"})
+    d2 = d.set(2, "b")
+    assert d2[2] == "b"
+    assert 2 not in d
+
+
+def test_update():
+    d = FrozenDict({1: "a"}).update({1: "z", 2: "b"})
+    assert d[1] == "z" and d[2] == "b"
+
+
+def test_get_default():
+    assert FrozenDict().get(7, "dflt") == "dflt"
+
+
+def test_missing_raises():
+    with pytest.raises(KeyError):
+        FrozenDict()[0]
+
+
+def test_views():
+    d = FrozenDict({1: "a", 2: "b"})
+    assert sorted(d.keys()) == [1, 2]
+    assert sorted(d.values()) == ["a", "b"]
+    assert dict(d.items()) == {1: "a", 2: "b"}
+    assert len(d) == 2
+    assert set(iter(d)) == {1, 2}
+
+
+def test_as_dict_copy():
+    d = FrozenDict({1: "a"})
+    mutable = d.as_dict()
+    mutable[1] = "z"
+    assert d[1] == "a"
+
+
+def test_usable_as_dict_key():
+    table = {FrozenDict({1: "a"}): "found"}
+    assert table[FrozenDict({1: "a"})] == "found"
+
+
+def test_eq_other_type():
+    assert FrozenDict() != {1: 2}
+
+
+@given(data_strategy)
+def test_hash_eq_consistency(data):
+    assert hash(FrozenDict(data)) == hash(FrozenDict(dict(data)))
+
+
+@given(data_strategy, st.integers(0, 5), st.integers(-3, 3))
+def test_set_then_get(data, key, value):
+    assert FrozenDict(data).set(key, value)[key] == value

@@ -1,0 +1,116 @@
+"""Meta-soundness of the IS checker (Theorem 4.4, property-tested).
+
+For a space of *artifact variants* — correct ones and deliberately
+corrupted ones (wrong abstraction gates, reversed choice priority, wrong
+invariants, degenerate measures) — and randomized instances, the checker
+must be **sound**: whenever ``check()`` passes, the exhaustive refinement
+oracle passes too. Corrupted variants may fail the checker (most do; IS is
+incomplete by design), but no variant may slip through.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Action,
+    EMPTY_STORE,
+    ISApplication,
+    LexicographicMeasure,
+    check_program_refinement,
+    choice_by_priority,
+)
+from repro.protocols import broadcast
+
+
+def _variant(name: str, n: int) -> ISApplication:
+    base = broadcast.make_sequentialization(n)
+    if name == "correct":
+        return base
+    if name == "identity-abstraction":
+        return ISApplication(
+            base.program, base.m_name, base.eliminated,
+            invariant=base.invariant, measure=base.measure, abstractions={},
+        )
+    if name == "weak-gate":
+        collect = base.program["Collect"]
+        weak = Action(
+            "CollectWeak",
+            lambda s: len(s["CH"][s["i"]]) >= n - 1,
+            collect.transitions,
+            ("i",),
+        )
+        return ISApplication(
+            base.program, base.m_name, base.eliminated,
+            invariant=base.invariant, measure=base.measure,
+            abstractions={"Collect": weak},
+        )
+    if name == "reversed-choice":
+        return ISApplication(
+            base.program, base.m_name, base.eliminated,
+            invariant=base.invariant, measure=base.measure,
+            abstractions=dict(base.abstractions),
+            choice=choice_by_priority(("Collect", "Broadcast")),
+        )
+    if name == "wrong-invariant":
+        return ISApplication(
+            base.program, base.m_name, base.eliminated,
+            invariant=broadcast.make_broadcast_invariant(n),
+            measure=base.measure, abstractions=dict(base.abstractions),
+        )
+    if name == "degenerate-measure":
+        return ISApplication(
+            base.program, base.m_name, base.eliminated,
+            invariant=base.invariant,
+            measure=LexicographicMeasure((), name="constant"),
+            abstractions=dict(base.abstractions),
+        )
+    raise ValueError(name)
+
+
+VARIANTS = (
+    "correct",
+    "identity-abstraction",
+    "weak-gate",
+    "reversed-choice",
+    "wrong-invariant",
+    "degenerate-measure",
+)
+
+
+@given(
+    st.sampled_from(VARIANTS),
+    st.integers(min_value=2, max_value=3),
+    st.lists(st.integers(-3, 3), min_size=3, max_size=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_checker_pass_implies_oracle_pass(variant_name, n, raw_values):
+    values = tuple(raw_values[:n])
+    application = _variant(variant_name, n)
+    universe = broadcast.make_universe(application.program, n, values)
+    verdict = application.check(universe)
+    if verdict.holds:
+        oracle = check_program_refinement(
+            application.program,
+            application.apply(),
+            [(broadcast.initial_global(n, values), EMPTY_STORE)],
+        )
+        assert oracle.holds, (
+            f"UNSOUND: checker passed variant {variant_name!r} at n={n}, "
+            f"values={values} but the refinement oracle fails"
+        )
+
+
+@pytest.mark.parametrize("variant_name", VARIANTS[1:])
+def test_corrupted_variants_are_rejected(variant_name):
+    """All corruptions above actually trip the checker at n=3 (so the
+    soundness property above is not vacuous)."""
+    application = _variant(variant_name, 3)
+    universe = broadcast.make_universe(application.program, 3)
+    assert not application.check(universe).holds
+
+
+def test_correct_variant_accepted():
+    application = _variant("correct", 3)
+    universe = broadcast.make_universe(application.program, 3)
+    assert application.check(universe).holds

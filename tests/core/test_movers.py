@@ -1,0 +1,158 @@
+"""Tests for mover types and commutativity checking.
+
+The key semantic facts from Section 2.1 are established here on minimal
+actions: over bag channels, *send is a left mover but not a right mover*,
+*receive is a right mover and not a left mover* (it blocks), and disjoint
+accesses are both movers.
+"""
+
+from repro.core import (
+    Action,
+    Multiset,
+    MoverOracle,
+    MoverType,
+    Program,
+    Store,
+    StoreUniverse,
+    Transition,
+    infer_mover_type,
+    is_left_mover,
+    is_left_mover_wrt_program,
+    is_right_mover,
+    left_mover_conditions,
+)
+
+GLOBALS = ("ch", "y")
+
+
+def _send(value="m"):
+    def transitions(state):
+        yield Transition(
+            state.restrict(GLOBALS).set("ch", state["ch"].add(value))
+        )
+
+    return Action("Send", lambda _s: True, transitions)
+
+
+def _receive():
+    def transitions(state):
+        for message in state["ch"].support():
+            yield Transition(
+                state.restrict(GLOBALS)
+                .set("ch", state["ch"].remove(message))
+                .set("y", message)
+            )
+
+    return Action("Receive", lambda _s: True, transitions)
+
+
+def _universe():
+    channels = [Multiset(), Multiset(["m"]), Multiset(["m", "o"]), Multiset(["o"])]
+    return StoreUniverse(
+        [Store({"ch": ch, "y": y}) for ch in channels for y in (None, "m")]
+    )
+
+
+def test_send_is_left_mover_wrt_receive():
+    assert is_left_mover(_send(), _receive(), _universe()).holds
+
+
+def test_send_is_not_right_mover_wrt_receive():
+    # send;receive may deliver the fresh message, which receive;send cannot.
+    result = is_right_mover(_send(), _receive(), _universe())
+    assert not result.holds
+
+
+def test_receive_is_right_mover_wrt_send():
+    assert is_right_mover(_receive(), _send(), _universe()).holds
+
+
+def test_receive_is_not_left_mover_blocking():
+    conditions = left_mover_conditions(_receive(), _send(), _universe())
+    assert not conditions["non_blocking"].holds  # blocks on the empty bag
+    assert conditions["commutation"].holds is False or True  # see below
+
+
+def test_receive_commutation_fails_against_send():
+    # receive after send can take the fresh message: not left-commutable.
+    conditions = left_mover_conditions(_receive(), _send(), _universe())
+    assert not conditions["commutation"].holds
+
+
+def test_sends_commute_with_each_other():
+    assert is_left_mover(_send("a"), _send("b"), _universe()).holds
+    assert is_right_mover(_send("a"), _send("b"), _universe()).holds
+
+
+def test_gate_forward_preservation_violation():
+    # An action whose gate requires an empty channel is not forward
+    # preserved by a send.
+    def noop(state):
+        yield Transition(state.restrict(GLOBALS))
+
+    fragile = Action("Fragile", lambda s: len(s["ch"]) == 0, noop)
+    conditions = left_mover_conditions(fragile, _send(), _universe())
+    assert not conditions["forward_preservation"].holds
+
+
+def test_gate_backward_preservation_violation():
+    # Send introduces the gate "channel nonempty" of another action.
+    def noop(state):
+        yield Transition(state.restrict(GLOBALS))
+
+    needs_msg = Action("NeedsMsg", lambda s: len(s["ch"]) > 0, noop)
+    conditions = left_mover_conditions(_send(), needs_msg, _universe())
+    assert not conditions["backward_preservation"].holds
+
+
+def _program():
+    return Program(
+        {"Main": _send(), "Send": _send(), "Receive": _receive()},
+        global_vars=GLOBALS,
+        require_main=False,
+    )
+
+
+def test_left_mover_wrt_program():
+    program = _program()
+    assert is_left_mover_wrt_program(_send(), program, _universe()).holds
+    assert not is_left_mover_wrt_program(_receive(), program, _universe()).holds
+
+
+def test_left_mover_wrt_program_skip():
+    program = _program()
+    # Receive blocks regardless, but skipping Send removes the commutation
+    # failure — only non-blocking remains violated.
+    result = is_left_mover_wrt_program(
+        _receive(), program, _universe(), skip=("Send", "Main")
+    )
+    assert not result.holds
+    assert all("non-blocking" in d or "blocks" in d for d, _w in result.counterexamples)
+
+
+def test_infer_mover_types():
+    program = _program()
+    universe = _universe()
+    assert infer_mover_type(_send(), program, universe) is MoverType.LEFT
+    assert infer_mover_type(_receive(), program, universe) is MoverType.RIGHT
+
+
+def test_infer_both_mover():
+    def local_write(state):
+        yield Transition(state.restrict(GLOBALS).set("y", 0))
+
+    action = Action("W", lambda _s: True, local_write)
+    program = Program({"W": action}, global_vars=GLOBALS, require_main=False)
+    universe = StoreUniverse([Store({"ch": Multiset(), "y": 1})])
+    assert infer_mover_type(action, program, universe) is MoverType.BOTH
+
+
+def test_oracle_caches_and_matches_direct_checks():
+    program = _program()
+    universe = _universe()
+    oracle = MoverOracle(program, universe)
+    assert oracle.left("Send", "Receive")
+    assert oracle.left("Send", "Receive")  # cached path
+    assert not oracle.right("Send", "Receive")
+    assert oracle.mover_type("Send") is MoverType.LEFT
+    assert oracle.mover_type("Receive") is MoverType.RIGHT

@@ -1,0 +1,120 @@
+"""Unit and property tests for multisets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import EMPTY, Multiset
+
+elements = st.lists(st.integers(min_value=0, max_value=5), max_size=12)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert len(EMPTY) == 0
+        assert not EMPTY
+        assert list(EMPTY) == []
+
+    def test_count_and_len(self):
+        m = Multiset("aabc")
+        assert m.count("a") == 2
+        assert m.count("z") == 0
+        assert len(m) == 4
+
+    def test_iteration_respects_multiplicity(self):
+        m = Multiset([1, 1, 2])
+        assert sorted(m) == [1, 1, 2]
+
+    def test_contains(self):
+        m = Multiset([1])
+        assert 1 in m
+        assert 2 not in m
+
+    def test_add(self):
+        m = Multiset([1]).add(1).add(2, count=3)
+        assert m.count(1) == 2
+        assert m.count(2) == 3
+
+    def test_add_negative_raises(self):
+        with pytest.raises(ValueError):
+            Multiset().add(1, count=-1)
+
+    def test_remove(self):
+        m = Multiset([1, 1])
+        assert m.remove(1).count(1) == 1
+
+    def test_remove_too_many_raises(self):
+        with pytest.raises(KeyError):
+            Multiset([1]).remove(1, count=2)
+
+    def test_remove_absent_raises(self):
+        with pytest.raises(KeyError):
+            Multiset().remove("x")
+
+    def test_union_operator(self):
+        assert (Multiset([1]) + Multiset([1, 2])).count(1) == 2
+
+    def test_difference_truncates(self):
+        m = Multiset([1]) - Multiset([1, 1, 2])
+        assert len(m) == 0
+
+    def test_sub_single_element(self):
+        assert (Multiset([1, 2]) - 1) == Multiset([2])
+
+    def test_includes(self):
+        assert Multiset([1, 1, 2]).includes(Multiset([1, 2]))
+        assert not Multiset([1]).includes(Multiset([1, 1]))
+
+    def test_from_counts_drops_nonpositive(self):
+        m = Multiset.from_counts({"a": 2, "b": 0, "c": -1})
+        assert m == Multiset("aa")
+
+    def test_support_and_counts(self):
+        m = Multiset("aab")
+        assert sorted(m.support()) == ["a", "b"]
+        assert dict(m.counts()) == {"a": 2, "b": 1}
+
+    def test_repr_roundtrip_info(self):
+        assert "2" in repr(Multiset([7, 7]))
+
+    def test_hashable_as_dict_key(self):
+        d = {Multiset([1, 2]): "v"}
+        assert d[Multiset([2, 1])] == "v"
+
+
+class TestProperties:
+    @given(elements, elements)
+    def test_union_commutative(self, a, b):
+        assert Multiset(a) + Multiset(b) == Multiset(b) + Multiset(a)
+
+    @given(elements, elements, elements)
+    def test_union_associative(self, a, b, c):
+        ma, mb, mc = Multiset(a), Multiset(b), Multiset(c)
+        assert (ma + mb) + mc == ma + (mb + mc)
+
+    @given(elements)
+    def test_union_identity(self, a):
+        assert Multiset(a) + EMPTY == Multiset(a)
+
+    @given(elements, st.integers(min_value=0, max_value=5))
+    def test_add_then_remove_roundtrip(self, a, x):
+        m = Multiset(a)
+        assert m.add(x).remove(x) == m
+
+    @given(elements, elements)
+    def test_union_then_difference_roundtrip(self, a, b):
+        ma, mb = Multiset(a), Multiset(b)
+        assert (ma + mb) - mb == ma
+
+    @given(elements, elements)
+    def test_includes_iff_difference_empty(self, a, b):
+        ma, mb = Multiset(a), Multiset(b)
+        assert ma.includes(mb) == (len(mb - ma) == 0)
+
+    @given(elements)
+    def test_hash_consistent_with_eq(self, a):
+        assert hash(Multiset(a)) == hash(Multiset(list(reversed(a))))
+
+    @given(elements, elements)
+    def test_len_additive_under_union(self, a, b):
+        assert len(Multiset(a) + Multiset(b)) == len(a) + len(b)

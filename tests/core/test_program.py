@@ -1,0 +1,58 @@
+"""Tests for the Program container."""
+
+import pytest
+
+from repro.core import Action, Program, Store, Transition, pa
+
+
+def _noop(name="A", params=()):
+    return Action(name, lambda _s: True, lambda s: iter([Transition(Store())]), params)
+
+
+def test_main_required():
+    with pytest.raises(ValueError):
+        Program({"NotMain": _noop()})
+
+
+def test_main_requirement_can_be_waived():
+    program = Program({"A": _noop()}, require_main=False)
+    assert "A" in program
+
+
+def test_lookup_by_pending_async():
+    action = _noop("Work", ("i",))
+    program = Program({"Main": _noop("Main"), "Work": action})
+    assert program.lookup(pa("Work", i=1)) is action
+
+
+def test_with_action_substitution():
+    program = Program({"Main": _noop("Main")})
+    replacement = _noop("Main2")
+    updated = program.with_action("Main", replacement)
+    assert updated["Main"] is replacement
+    assert program["Main"] is not replacement  # persistence
+
+
+def test_without_actions():
+    program = Program({"Main": _noop("Main"), "A": _noop("A")})
+    trimmed = program.without_actions(["A"])
+    assert "A" not in trimmed
+    assert "Main" in trimmed
+
+
+def test_globals_projection():
+    program = Program({"Main": _noop()}, global_vars=("x",))
+    combined = Store({"x": 1, "local": 2})
+    assert dict(program.globals_of(combined).items()) == {"x": 1}
+
+
+def test_iteration_and_len():
+    program = Program({"Main": _noop("Main"), "A": _noop("A")})
+    assert len(program) == 2
+    assert set(program.action_names()) == {"Main", "A"}
+    assert dict(program.actions())["A"].name == "A"
+
+
+def test_repr_lists_names():
+    program = Program({"Main": _noop()}, global_vars=("x",))
+    assert "Main" in repr(program) and "x" in repr(program)

@@ -1,0 +1,154 @@
+"""Tests for policy-driven sequentializations (repro.core.schedule)."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    ISApplication,
+    Multiset,
+    Program,
+    ScheduleError,
+    Store,
+    Transition,
+    choice_from_policy,
+    invariant_from_policy,
+    pa,
+    policy_by_key,
+)
+from repro.protocols import broadcast
+
+
+def test_policy_by_key_picks_minimum():
+    policy = policy_by_key(("B", "A"), lambda _g, p: (p.action, p.locals.get("i", 0)))
+    pending = Multiset([pa("A", i=2), pa("A", i=1), pa("B", i=5)])
+    assert policy(Store(), pending) == pa("A", i=1)
+
+
+def test_policy_by_key_none_when_done():
+    policy = policy_by_key(("A",), lambda _g, p: (0,))
+    assert policy(Store(), Multiset([pa("Z")])) is None
+
+
+def test_policy_key_may_read_state():
+    policy = policy_by_key(
+        ("A",), lambda g, p: (abs(p.locals["i"] - g["pivot"]),)
+    )
+    pending = Multiset([pa("A", i=1), pa("A", i=4)])
+    assert policy(Store({"pivot": 5}), pending) == pa("A", i=4)
+
+
+def test_invariant_from_policy_base_case_included():
+    """The policy invariant must contain M's own transitions (I1 holds by
+    construction)."""
+    n = 2
+    program = broadcast.make_atomic(n)
+    policy = broadcast_policy(n)
+    invariant = invariant_from_policy(program, "Main", policy)
+    sigma = broadcast.initial_global(n)
+    main_outcomes = set(program["Main"].outcomes(sigma))
+    inv_outcomes = set(invariant.outcomes(sigma))
+    assert main_outcomes <= inv_outcomes
+    assert len(inv_outcomes) > len(main_outcomes)  # plus proper prefixes
+
+
+def broadcast_policy(n):
+    return policy_by_key(
+        ("Broadcast", "Collect"),
+        lambda _g, p: (0 if p.action == "Broadcast" else 1, p.locals["i"]),
+    )
+
+
+def test_invariant_from_policy_complete_prefix_has_no_pas():
+    n = 2
+    program = broadcast.make_atomic(n)
+    invariant = invariant_from_policy(program, "Main", broadcast_policy(n))
+    sigma = broadcast.initial_global(n)
+    complete = [t for t in invariant.outcomes(sigma) if len(t.created) == 0]
+    assert complete, "the schedule must run to completion"
+    for t in complete:
+        decision = t.new_global["decision"]
+        assert len({decision[i] for i in range(1, n + 1)}) == 1
+
+
+def test_policy_derived_is_application_passes():
+    n = 2
+    program = broadcast.make_atomic(n)
+    policy = broadcast_policy(n)
+    application = ISApplication(
+        program=program,
+        m_name="Main",
+        eliminated=("Broadcast", "Collect"),
+        invariant=invariant_from_policy(program, "Main", policy),
+        measure=broadcast.make_measure(),
+        choice=choice_from_policy(policy),
+        abstractions={"Collect": broadcast.make_collect_abs(n)},
+    )
+    universe = broadcast.make_universe(program, n)
+    assert application.check(universe).holds
+
+
+def test_policy_and_handwritten_invariants_agree():
+    """Ablation: the hand-written Inv of Figure 1-⑤ and the policy-derived
+    invariant describe the same prefixes."""
+    n = 3
+    program = broadcast.make_atomic(n)
+    sigma = broadcast.initial_global(n)
+    hand = set(broadcast.make_invariant(n).outcomes(sigma))
+    derived = set(
+        invariant_from_policy(program, "Main", broadcast_policy(n)).outcomes(sigma)
+    )
+    assert hand == derived
+
+
+def test_choice_from_policy_raises_when_complete():
+    policy = policy_by_key(("A",), lambda _g, p: (0,))
+    choice = choice_from_policy(policy)
+    with pytest.raises(ValueError):
+        choice(Store(), Transition(Store(), Multiset()))
+
+
+def test_schedule_error_on_bogus_policy():
+    """A policy selecting a non-pending PA is reported, not silently run."""
+    n = 2
+    program = broadcast.make_atomic(n)
+
+    def bogus(_g, _pending):
+        return pa("Broadcast", i=99)
+
+    invariant = invariant_from_policy(program, "Main", bogus)
+    with pytest.raises(ScheduleError):
+        list(invariant.transitions(broadcast.initial_global(n)))
+
+
+def test_diverging_policy_hits_prefix_budget():
+    """A program whose schedule never terminates trips the budget."""
+
+    def main(state):
+        yield Transition(state.restrict(("x",)), Multiset([pa("Loop")]))
+
+    def loop(state):
+        yield Transition(state.restrict(("x",)), Multiset([pa("Loop")]))
+
+    program = Program(
+        {
+            "Main": Action("Main", lambda _s: True, main),
+            "Loop": Action("Loop", lambda _s: True, loop),
+        },
+        global_vars=("x",),
+    )
+    policy = policy_by_key(("Loop",), lambda _g, _p: (0,))
+    # Identical (store, pending) prefixes collapse, so divergence requires
+    # changing state; make the loop count up.
+    def counting_loop(state):
+        yield Transition(
+            state.restrict(("x",)).set("x", state["x"] + 1), Multiset([pa("Loop")])
+        )
+
+    program = program.with_action(
+        "Loop", Action("Loop", lambda _s: True, counting_loop, ())
+    )
+    invariant = invariant_from_policy(
+        program, "Main", policy, max_prefixes=50
+    )
+    with pytest.raises(ScheduleError):
+        list(invariant.transitions(Store({"x": 0})))

@@ -1,0 +1,139 @@
+"""Tests for the operational semantics (configurations, steps, executions)."""
+
+import pytest
+
+from repro.core import (
+    Config,
+    Execution,
+    FAILURE,
+    Failure,
+    Multiset,
+    Step,
+    Store,
+    initial_config,
+    pa,
+    steps_from,
+)
+from repro.core.semantics import step_successors
+
+from ..conftest import make_assert_program, make_counter_program
+
+
+def test_initial_config_shape():
+    config = initial_config(Store({"x": 0}))
+    assert config.glob["x"] == 0
+    assert list(config.pending) == [pa("Main")]
+    assert not config.terminated
+
+
+def test_failure_singleton():
+    assert Failure() is FAILURE
+    assert repr(FAILURE) == "FAILURE"
+
+
+def test_steps_from_counter():
+    program = make_counter_program(increments=2)
+    config = initial_config(Store({"x": 0}))
+    steps = list(steps_from(program, config))
+    assert len(steps) == 1  # only Main pending
+    target = steps[0].target
+    assert isinstance(target, Config)
+    assert len(target.pending) == 2
+
+
+def test_steps_interleave_all_pending():
+    program = make_counter_program(increments=2)
+    config = initial_config(Store({"x": 0}))
+    [first] = list(steps_from(program, config))
+    mid = first.target
+    steps = list(steps_from(program, mid))
+    assert len(steps) == 2  # either Inc may go first
+    assert all(step.target.glob["x"] == 1 for step in steps)
+
+
+def test_gate_failure_step():
+    program = make_assert_program(threshold=0)  # x < 0 fails at x = 0
+    config = initial_config(Store({"x": 0}))
+    [spawn] = list(steps_from(program, config))
+    [failing] = list(steps_from(program, spawn.target))
+    assert failing.failing
+    assert failing.target is FAILURE
+
+
+def test_blocking_action_contributes_no_steps():
+    from repro.core import Action, Program, Transition
+
+    def main(state):
+        yield Transition(state.restrict(["x"]), Multiset([pa("Blocked")]))
+
+    program = Program(
+        {
+            "Main": Action("Main", lambda _s: True, main),
+            "Blocked": Action("Blocked", lambda _s: True, lambda _s: iter(())),
+        },
+        global_vars=("x",),
+    )
+    config = initial_config(Store({"x": 0}))
+    [spawn] = list(steps_from(program, config))
+    assert list(steps_from(program, spawn.target)) == []
+
+
+def test_step_successors_dedup():
+    program = make_counter_program(increments=2)
+    config = initial_config(Store({"x": 0}))
+    [first] = list(steps_from(program, config))
+    succs = step_successors(program, first.target)
+    assert len(succs) == 2  # distinct remaining-PA multisets
+
+
+class TestExecutionValidate:
+    def _run_to_end(self, program, config):
+        steps = []
+        current = config
+        while not current.terminated:
+            step = next(iter(steps_from(program, current)))
+            steps.append(step)
+            current = step.target
+        return Execution(config, steps)
+
+    def test_valid_execution(self):
+        program = make_counter_program(increments=2)
+        init = initial_config(Store({"x": 0}))
+        execution = self._run_to_end(program, init)
+        execution.validate(program)
+        assert execution.terminating
+        assert execution.initialized
+        assert not execution.failing
+        assert execution.final.glob["x"] == 2
+
+    def test_config_at(self):
+        program = make_counter_program(increments=1)
+        init = initial_config(Store({"x": 0}))
+        execution = self._run_to_end(program, init)
+        assert execution.config_at(0) is init
+        assert execution.config_at(len(execution)) == execution.final
+
+    def test_validate_rejects_wrong_pa(self):
+        program = make_counter_program(increments=1)
+        init = initial_config(Store({"x": 0}))
+        execution = self._run_to_end(program, init)
+        bogus = Execution(
+            init, [Step(pa("Inc", i=0), execution.steps[0].transition, execution.steps[0].target)]
+        )
+        with pytest.raises(ValueError):
+            bogus.validate(program)
+
+    def test_validate_rejects_wrong_target(self):
+        program = make_counter_program(increments=1)
+        init = initial_config(Store({"x": 0}))
+        execution = self._run_to_end(program, init)
+        first = execution.steps[0]
+        tampered = Step(first.executed, first.transition, Config(Store({"x": 99}), first.target.pending))
+        with pytest.raises(ValueError):
+            Execution(init, [tampered] + execution.steps[1:]).validate(program)
+
+    def test_repr_mentions_classification(self):
+        program = make_counter_program(increments=1)
+        init = initial_config(Store({"x": 0}))
+        execution = self._run_to_end(program, init)
+        assert "terminating" in repr(execution)

@@ -1,0 +1,278 @@
+"""Tests for the IS proof rule itself, including the Section 4
+cooperation counterexample showing why condition (CO) is necessary."""
+
+import pytest
+
+from repro.core import (
+    Action,
+    EMPTY_STORE,
+    ISApplication,
+    LexicographicMeasure,
+    Multiset,
+    Program,
+    Store,
+    StoreUniverse,
+    Transition,
+    check_program_refinement,
+    choice_by_priority,
+    derive_m_prime,
+    pa,
+    pas_to,
+    total_pa_count,
+)
+
+GLOBALS = ("x",)
+
+
+def _glob(state: Store) -> Store:
+    return state.restrict(GLOBALS)
+
+
+def test_pas_to_filters_by_action():
+    created = Multiset([pa("A"), pa("B"), pa("A")])
+    assert len(pas_to(created, ("A",))) == 2
+
+
+def test_choice_by_priority_orders_actions_then_key():
+    choice = choice_by_priority(("B", "A"))
+    t = Transition(Store(), Multiset([pa("A", i=1), pa("B", i=2), pa("B", i=1)]))
+    assert choice(Store(), t) == pa("B", i=1)
+
+
+def test_choice_by_priority_requires_candidates():
+    choice = choice_by_priority(("A",))
+    with pytest.raises(ValueError):
+        choice(Store(), Transition(Store(), Multiset([pa("Z")])))
+
+
+def test_derive_m_prime_filters_pa_transitions():
+    def transitions(_state):
+        yield Transition(Store({"x": 1}), Multiset([pa("A")]))
+        yield Transition(Store({"x": 2}))
+
+    invariant = Action("Inv", lambda _s: True, transitions)
+    m_prime = derive_m_prime(invariant, ("A",))
+    outs = m_prime.outcomes(Store())
+    assert len(outs) == 1
+    assert outs[0].new_global["x"] == 2
+
+
+class TestValidation:
+    def _program(self):
+        def main(state):
+            yield Transition(_glob(state), Multiset([pa("A")]))
+
+        def a(state):
+            yield Transition(_glob(state))
+
+        return Program(
+            {
+                "Main": Action("Main", lambda _s: True, main),
+                "A": Action("A", lambda _s: True, a),
+            },
+            global_vars=GLOBALS,
+        )
+
+    def test_unknown_eliminated_action_rejected(self):
+        program = self._program()
+        with pytest.raises(ValueError):
+            ISApplication(
+                program,
+                "Main",
+                ("Nope",),
+                program["Main"],
+                LexicographicMeasure((total_pa_count(),)),
+            )
+
+    def test_unknown_m_rejected(self):
+        program = self._program()
+        with pytest.raises(ValueError):
+            ISApplication(
+                program,
+                "Nope",
+                ("A",),
+                program["Main"],
+                LexicographicMeasure((total_pa_count(),)),
+            )
+
+    def test_abstraction_outside_e_rejected(self):
+        program = self._program()
+        with pytest.raises(ValueError):
+            ISApplication(
+                program,
+                "Main",
+                ("A",),
+                program["Main"],
+                LexicographicMeasure((total_pa_count(),)),
+                abstractions={"Main": program["Main"]},
+            )
+
+
+class TestCooperationCounterexample:
+    """The Section 4 program showing (CO) is necessary, adapted to stay
+    finite-state: ``Rec`` perpetually re-spawns itself (so no well-founded
+    order can decrease), while a failing task sits alongside it.
+
+    All conditions except cooperation hold, yet replacing ``Main`` would
+    produce a program that cannot fail — unsound per Definition 3.2.
+    """
+
+    def _program(self):
+        def main(state):
+            yield Transition(_glob(state), Multiset([pa("Rec"), pa("Fail")]))
+
+        def rec(state):
+            yield Transition(_glob(state), Multiset([pa("Rec")]))
+
+        def fail_transitions(state):
+            yield Transition(_glob(state))
+
+        return Program(
+            {
+                "Main": Action("Main", lambda _s: True, main),
+                "Rec": Action("Rec", lambda _s: True, rec),
+                "Fail": Action("Fail", lambda _s: False, fail_transitions),
+            },
+            global_vars=GLOBALS,
+        )
+
+    def _application(self):
+        program = self._program()
+        return ISApplication(
+            program,
+            "Main",
+            ("Rec",),
+            invariant=program["Main"],
+            measure=LexicographicMeasure((total_pa_count(),)),
+        )
+
+    def _universe(self):
+        return StoreUniverse(
+            [Store({"x": 0})],
+            {"Main": [EMPTY_STORE], "Rec": [EMPTY_STORE], "Fail": [EMPTY_STORE]},
+        )
+
+    def test_only_cooperation_fails(self):
+        result = self._application().check(self._universe())
+        assert not result.holds
+        failed = {r.name for r in result.failed()}
+        assert failed == {"CO: cooperation"}
+
+    def test_applying_anyway_is_unsound(self):
+        application = self._application()
+        transformed = application.apply()
+        # M' has an empty transition relation: the transformed program
+        # silently loses the reachable failure.
+        assert transformed["Main"].outcomes(Store({"x": 0})) == []
+        oracle = check_program_refinement(
+            application.program,
+            transformed,
+            [(Store({"x": 0}), EMPTY_STORE)],
+            max_configs=100,
+        )
+        assert not oracle.holds
+
+    def test_report_format(self):
+        result = self._application().check(self._universe())
+        text = result.report()
+        assert "FAILED" in text
+        assert "CO" in text
+
+
+class TestBrokenArtifactsAreRejected:
+    """Each IS condition must catch its own class of bad artifact on the
+    broadcast consensus protocol."""
+
+    def _base(self, n=2):
+        from repro.protocols import broadcast
+
+        app = broadcast.make_sequentialization(n)
+        universe = broadcast.make_universe(app.program, n)
+        return app, universe, broadcast
+
+    def test_good_artifacts_pass(self):
+        app, universe, _ = self._base()
+        assert app.check(universe).holds
+
+    def test_wrong_invariant_fails_i1_or_i3(self):
+        app, universe, broadcast = self._base()
+        # An invariant that only summarizes the complete execution cannot
+        # simulate Main's own transition (base case broken).
+        complete_only = derive_m_prime(app.invariant, app.eliminated, name="Bad")
+        bad = ISApplication(
+            app.program,
+            app.m_name,
+            app.eliminated,
+            invariant=complete_only,
+            measure=app.measure,
+            abstractions=dict(app.abstractions),
+        )
+        result = bad.check(universe)
+        assert not result.conditions["I1"].holds
+
+    def test_missing_abstraction_fails_lm_and_co(self):
+        app, universe, _ = self._base()
+        bad = ISApplication(
+            app.program,
+            app.m_name,
+            app.eliminated,
+            invariant=app.invariant,
+            measure=app.measure,
+            abstractions={},
+        )
+        result = bad.check(universe)
+        assert not result.conditions["LM[Collect]"].holds
+        assert not result.conditions["CO"].holds
+
+    def test_invalid_abstraction_fails_abs_check(self):
+        app, universe, broadcast = self._base()
+        # "Abstraction" that drops transitions: not a valid abstraction.
+        collect = app.program["Collect"]
+        crippled = Action(
+            "CollectBad",
+            lambda _s: True,
+            lambda _s: iter(()),
+            collect.params,
+        )
+        bad = ISApplication(
+            app.program,
+            app.m_name,
+            app.eliminated,
+            invariant=app.invariant,
+            measure=app.measure,
+            abstractions={"Collect": crippled},
+        )
+        result = bad.check(universe)
+        assert not result.conditions["abs[Collect]"].holds
+
+    def test_bad_choice_function_detected(self):
+        app, universe, _ = self._base()
+        bad = ISApplication(
+            app.program,
+            app.m_name,
+            app.eliminated,
+            invariant=app.invariant,
+            measure=app.measure,
+            abstractions=dict(app.abstractions),
+            choice=lambda _s, _t: pa("Collect", i=999),  # never pending
+        )
+        result = bad.check(universe)
+        assert not result.conditions["I3"].holds
+
+    def test_wrong_m_prime_fails_i2(self):
+        app, universe, _ = self._base()
+
+        def never(_state):
+            return iter(())
+
+        bad = ISApplication(
+            app.program,
+            app.m_name,
+            app.eliminated,
+            invariant=app.invariant,
+            measure=app.measure,
+            abstractions=dict(app.abstractions),
+            m_prime=Action("M'", lambda _s: True, never),
+        )
+        result = bad.check(universe)
+        assert not result.conditions["I2"].holds

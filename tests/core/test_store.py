@@ -1,0 +1,96 @@
+"""Unit and property tests for stores and store combination."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import EMPTY_STORE, Store, combine
+
+store_data = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]), st.integers(-3, 3), max_size=4
+)
+
+
+class TestBasics:
+    def test_get_set(self):
+        s = Store({"x": 1})
+        assert s["x"] == 1
+        assert s.set("x", 2)["x"] == 2
+        assert s["x"] == 1  # immutability
+
+    def test_get_default(self):
+        assert Store().get("missing", 42) == 42
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            Store()["nope"]
+
+    def test_update(self):
+        s = Store({"x": 1}).update({"x": 2, "y": 3})
+        assert s["x"] == 2 and s["y"] == 3
+
+    def test_without(self):
+        s = Store({"x": 1, "y": 2}).without(["x"])
+        assert "x" not in s and s["y"] == 2
+
+    def test_restrict(self):
+        s = Store({"x": 1, "y": 2}).restrict(["y", "z"])
+        assert dict(s.items()) == {"y": 2}
+
+    def test_merge_right_bias(self):
+        s = Store({"x": 1}).merge(Store({"x": 9, "y": 2}))
+        assert s["x"] == 9 and s["y"] == 2
+
+    def test_len_iter_contains(self):
+        s = Store({"x": 1, "y": 2})
+        assert len(s) == 2
+        assert set(s) == {"x", "y"}
+        assert "x" in s
+
+    def test_as_dict_copy(self):
+        s = Store({"x": 1})
+        d = s.as_dict()
+        d["x"] = 99
+        assert s["x"] == 1
+
+    def test_empty_store_singletonish(self):
+        assert len(EMPTY_STORE) == 0
+
+    def test_combine(self):
+        combined = combine(Store({"g": 1}), Store({"l": 2}))
+        assert combined["g"] == 1 and combined["l"] == 2
+
+    def test_combine_local_shadows(self):
+        assert combine(Store({"v": 1}), Store({"v": 2}))["v"] == 2
+
+    def test_globals_of(self):
+        combined = Store({"g": 1, "l": 2})
+        assert dict(combined.globals_of(["g"]).items()) == {"g": 1}
+
+
+class TestProperties:
+    @given(store_data, store_data)
+    def test_merge_restrict_roundtrip(self, a, b):
+        g, l = Store(a), Store(b)
+        merged = combine(g, l)
+        for name in b:
+            assert merged[name] == b[name]
+        for name in a:
+            if name not in b:
+                assert merged[name] == a[name]
+
+    @given(store_data)
+    def test_hash_eq_consistency(self, data):
+        assert hash(Store(data)) == hash(Store(dict(data)))
+        assert Store(data) == Store(dict(data))
+
+    @given(store_data, st.sampled_from(["a", "b"]), st.integers(-3, 3))
+    def test_set_then_get(self, data, name, value):
+        assert Store(data).set(name, value)[name] == value
+
+    @given(store_data)
+    def test_restrict_without_partition(self, data):
+        s = Store(data)
+        keep = [k for i, k in enumerate(sorted(data)) if i % 2 == 0]
+        merged = s.restrict(keep).merge(s.without(keep))
+        assert merged == s

@@ -1,0 +1,112 @@
+"""Tests for store universes and PA contexts."""
+
+from repro.core import (
+    GhostContext,
+    InstanceContext,
+    Multiset,
+    NoContext,
+    PendingAsync,
+    Store,
+    StoreUniverse,
+    initial_config,
+    pa,
+)
+
+from ..conftest import make_counter_program
+
+
+def test_from_reachable_harvests_globals_and_locals():
+    program = make_counter_program(increments=2)
+    universe = StoreUniverse.from_reachable(
+        program, [initial_config(Store({"x": 0}))]
+    )
+    assert {g["x"] for g in universe.globals_} == {0, 1, 2}
+    assert len(universe.locals_for("Inc")) == 2  # i = 0, 1
+    assert universe.locals_for("Unknown") == [Store()]
+
+
+def test_combined_iterates_triples():
+    universe = StoreUniverse(
+        [Store({"x": 0})], {"A": [Store({"i": 1}), Store({"i": 2})]}
+    )
+    triples = list(universe.combined("A"))
+    assert len(triples) == 2
+    g, l, state = triples[0]
+    assert state["x"] == 0 and state["i"] in (1, 2)
+
+
+def test_extended_and_merge_dedupe():
+    u1 = StoreUniverse([Store({"x": 0})], {"A": [Store({"i": 1})]})
+    u2 = u1.extended([Store({"x": 0}), Store({"x": 5})], {"A": [Store({"i": 1})]})
+    assert len(u2.globals_) == 2
+    assert len(u2.locals_for("A")) == 1
+    merged = u1.merge(u2)
+    assert len(merged.globals_) == 2
+
+
+def test_with_context_preserved_by_extended():
+    universe = StoreUniverse([Store({"x": 0})]).with_context(GhostContext("g"))
+    assert isinstance(universe.extended([Store({"x": 1})]).context, GhostContext)
+
+
+def test_sampled_keeps_marked_globals():
+    globals_ = [Store({"x": i}) for i in range(100)]
+    universe = StoreUniverse(globals_)
+    sampled = universe.sampled(10, keep=lambda g: g["x"] == 77)
+    assert len(sampled.globals_) <= 12
+    assert Store({"x": 77}) in sampled.globals_
+
+
+def test_sampled_noop_under_limit():
+    universe = StoreUniverse([Store({"x": 0})])
+    assert universe.sampled(10) is universe
+
+
+def test_from_random_walks():
+    program = make_counter_program(increments=3)
+    universe = StoreUniverse.from_random_walks(
+        program, [initial_config(Store({"x": 0}))], walks=20, seed=1
+    )
+    assert {g["x"] for g in universe.globals_} == {0, 1, 2, 3}
+
+
+class TestContexts:
+    def test_no_context_allows_everything(self):
+        context = NoContext()
+        assert context.single(Store(), pa("A"))
+        assert context.pair(Store(), pa("A"), pa("A"))
+
+    def test_ghost_context_single(self):
+        ghost = Multiset([pa("A", i=1)])
+        context = GhostContext("pendingAsyncs")
+        state = Store({"pendingAsyncs": ghost})
+        assert context.single(state, pa("A", i=1))
+        assert not context.single(state, pa("A", i=2))
+
+    def test_ghost_context_pair_needs_multiplicity(self):
+        context = GhostContext("pendingAsyncs")
+        one = Store({"pendingAsyncs": Multiset([pa("A")])})
+        two = Store({"pendingAsyncs": Multiset([pa("A"), pa("A")])})
+        assert not context.pair(one, pa("A"), pa("A"))
+        assert context.pair(two, pa("A"), pa("A"))
+
+    def test_ghost_context_type_error(self):
+        import pytest
+
+        context = GhostContext("pendingAsyncs")
+        with pytest.raises(TypeError):
+            context.single(Store({"pendingAsyncs": 3}), pa("A"))
+
+    def test_instance_context_same_instance_excluded(self):
+        context = InstanceContext(lambda name: (name.split("#")[0], ("i",)))
+        g = Store()
+        assert not context.pair(g, pa("P#0", i=1), pa("P#4", i=1))
+        assert context.pair(g, pa("P#0", i=1), pa("P#4", i=2))
+        assert context.pair(g, pa("P#0", i=1), pa("Q#0", i=1))
+        assert context.single(g, pa("P#0", i=1))
+
+    def test_pair_cache_used_for_state_independent_contexts(self):
+        context = InstanceContext(lambda name: (name, ()))
+        universe = StoreUniverse([Store()], context=context)
+        assert not universe.pair_ok(Store(), "A", Store(), "A", Store())
+        assert ("A", Store(), "A", Store()) in universe._pair_cache

@@ -1,0 +1,86 @@
+"""Tests for well-founded lexicographic measures."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    Config,
+    LexicographicMeasure,
+    Multiset,
+    Store,
+    channel_size,
+    global_counter,
+    pa,
+    pa_count,
+    pa_potential,
+    total_pa_count,
+)
+
+
+def _config(x=0, pending=(), chan=None):
+    data = {"x": x}
+    if chan is not None:
+        data["ch"] = chan
+    return Config(Store(data), Multiset(pending))
+
+
+def test_total_pa_count():
+    measure = LexicographicMeasure((total_pa_count(),))
+    assert measure.decreases(_config(pending=[pa("A")]), _config())
+    assert not measure.decreases(_config(), _config(pending=[pa("A")]))
+
+
+def test_pa_count_by_action():
+    component = pa_count("A")
+    assert component(_config(pending=[pa("A"), pa("A"), pa("B")])) == 2
+
+
+def test_pa_potential():
+    component = pa_potential(lambda p: p.locals.get("w", 0))
+    assert component(_config(pending=[pa("A", w=3), pa("B", w=2)])) == 5
+
+
+def test_channel_size_plain():
+    component = channel_size("ch")
+    assert component(_config(chan=Multiset(["m", "m"]))) == 2
+
+
+def test_channel_size_mapping():
+    component = channel_size("ch")
+    assert component(_config(chan={1: Multiset(["m"]), 2: Multiset()})) == 1
+
+
+def test_channel_size_with_key():
+    component = channel_size("ch", key=1)
+    assert component(_config(chan={1: Multiset(["m", "m"]), 2: Multiset(["m"])})) == 2
+
+
+def test_global_counter():
+    component = global_counter("x", scale=3)
+    assert component(_config(x=2)) == 6
+
+
+def test_lexicographic_order():
+    measure = LexicographicMeasure((pa_count("A"), pa_count("B")))
+    high = _config(pending=[pa("A")])
+    low = _config(pending=[pa("B"), pa("B"), pa("B")])
+    assert measure.decreases(high, low)  # first component dominates
+
+
+def test_negative_component_rejected():
+    measure = LexicographicMeasure((global_counter("x"),))
+    with pytest.raises(ValueError):
+        measure.key(_config(x=-1))
+
+
+@given(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5), st.integers(0, 5))
+def test_decreases_is_strict_total_order_on_keys(a1, a2, b1, b2):
+    measure = LexicographicMeasure((pa_count("A"), pa_count("B")))
+    c1 = _config(pending=[pa("A")] * a1 + [pa("B")] * b1)
+    c2 = _config(pending=[pa("A")] * a2 + [pa("B")] * b2)
+    d12 = measure.decreases(c1, c2)
+    d21 = measure.decreases(c2, c1)
+    assert not (d12 and d21)
+    if (a1, b1) != (a2, b2):
+        assert d12 or d21

@@ -1,0 +1,73 @@
+"""Tests for the expression AST of the mini-CIVL language."""
+
+import pytest
+
+from repro.core import FrozenDict, Store
+from repro.lang import BinOp, C, Call, MapGet, UnOp, V
+
+
+def test_var_and_const():
+    env = Store({"x": 7})
+    assert V("x").eval(env) == 7
+    assert C(3).eval(env) == 3
+
+
+def test_missing_var_raises():
+    with pytest.raises(KeyError):
+        V("nope").eval(Store())
+
+
+def test_arithmetic_operators():
+    env = Store({"x": 7, "y": 3})
+    assert (V("x") + V("y")).eval(env) == 10
+    assert (V("x") - C(2)).eval(env) == 5
+    assert (V("x") * C(2)).eval(env) == 14
+    assert (V("x") % C(4)).eval(env) == 3
+
+
+def test_comparison_operators():
+    env = Store({"x": 7})
+    assert (V("x") == C(7)).eval(env)
+    assert (V("x") != C(8)).eval(env)
+    assert (V("x") > C(5)).eval(env)
+    assert (V("x") >= C(7)).eval(env)
+    assert (V("x") < C(8)).eval(env)
+    assert (V("x") <= C(7)).eval(env)
+
+
+def test_boolean_operators():
+    env = Store({"a": True, "b": False})
+    assert (V("a") & ~V("b")).eval(env)
+    assert (V("b") | V("a")).eval(env)
+    assert not (V("a") & V("b")).eval(env)
+
+
+def test_short_circuit_semantics_of_and_or():
+    env = Store({"a": 0, "b": 5})
+    assert BinOp("and", V("a"), V("b")).eval(env) is False
+    assert BinOp("or", V("a"), V("b")).eval(env) is True
+
+
+def test_map_get():
+    env = Store({"m": FrozenDict({1: "one"}), "k": 1})
+    assert MapGet(V("m"), V("k")).eval(env) == "one"
+
+
+def test_unop_len_max_min():
+    env = Store({"xs": (3, 1, 2)})
+    assert UnOp("len", V("xs")).eval(env) == 3
+    assert UnOp("max", V("xs")).eval(env) == 3
+    assert UnOp("min", V("xs")).eval(env) == 1
+    assert UnOp("-", C(4)).eval(env) == -4
+
+
+def test_call_escape_hatch():
+    expr = Call("sum3", lambda a, b, c: a + b + c, (C(1), C(2), V("x")))
+    assert expr.eval(Store({"x": 3})) == 6
+    assert "sum3" in repr(expr)
+
+
+def test_reprs_are_readable():
+    expr = (V("x") + C(1)) > MapGet(V("d"), V("i"))
+    text = repr(expr)
+    assert "x" in text and "d" in text and ">" in text

@@ -1,0 +1,98 @@
+"""Tests for lowering structured statements to flat control flow."""
+
+from repro.lang import (
+    Assign,
+    Block,
+    C,
+    CJump,
+    Foreach,
+    If,
+    IterInit,
+    IterNext,
+    Jump,
+    Prim,
+    Skip,
+    V,
+    While,
+    lower,
+)
+from repro.lang.lower import hidden_locals
+
+
+def test_straight_line():
+    instrs = lower([Assign("x", C(1)), Assign("y", C(2))])
+    assert len(instrs) == 2
+    assert all(isinstance(i, Prim) for i in instrs)
+
+
+def test_block_flattens():
+    instrs = lower([Block.of(Assign("x", C(1)), Assign("y", C(2)))])
+    assert len(instrs) == 2
+
+
+def test_if_without_else():
+    instrs = lower([If.of(V("c"), [Assign("x", C(1))]), Assign("y", C(2))])
+    cjump = instrs[0]
+    assert isinstance(cjump, CJump)
+    assert cjump.then == 1
+    assert cjump.orelse == 2  # skips over the then-branch
+
+
+def test_if_with_else():
+    instrs = lower(
+        [If.of(V("c"), [Assign("x", C(1))], [Assign("x", C(2))]), Skip()]
+    )
+    cjump = instrs[0]
+    assert isinstance(cjump, CJump)
+    then_last = instrs[cjump.then + 1 - 1 + 1]
+    assert isinstance(instrs[2], Jump)  # jump over the else branch
+    assert instrs[2].target == 4
+    assert cjump.orelse == 3
+
+
+def test_while_shape():
+    instrs = lower([While.of(V("c"), [Assign("x", V("x") + C(1))])])
+    cjump = instrs[0]
+    assert isinstance(cjump, CJump)
+    assert cjump.orelse == 3  # loop exit past the back-jump
+    back = instrs[2]
+    assert isinstance(back, Jump) and back.target == 0
+
+
+def test_foreach_shape_and_hidden_locals():
+    instrs = lower(
+        [Foreach.of("i", lambda _s: (1, 2), [Assign("x", V("i"))])]
+    )
+    assert isinstance(instrs[0], IterInit)
+    assert isinstance(instrs[1], IterNext)
+    assert instrs[1].done == 4
+    back = instrs[3]
+    assert isinstance(back, Jump) and back.target == 1
+    names = hidden_locals(instrs)
+    assert instrs[0].it_var in names and instrs[0].ix_var in names
+    assert "i" in names
+
+
+def test_nested_loops_get_distinct_hidden_locals():
+    instrs = lower(
+        [
+            Foreach.of(
+                "i",
+                lambda _s: (1,),
+                [Foreach.of("j", lambda _s: (1,), [Skip()])],
+            )
+        ]
+    )
+    inits = [i for i in instrs if isinstance(i, IterInit)]
+    assert len(inits) == 2
+    assert inits[0].it_var != inits[1].it_var
+
+
+def test_lower_rejects_unknown_statement():
+    import pytest
+
+    class Strange:
+        pass
+
+    with pytest.raises(TypeError):
+        lower([Strange()])

@@ -1,0 +1,92 @@
+"""Tests for the mini-CIVL pretty-printer."""
+
+from repro.lang import (
+    Assert,
+    Assign,
+    Assume,
+    Async,
+    Block,
+    C,
+    Foreach,
+    Havoc,
+    If,
+    MapAssign,
+    Module,
+    Procedure,
+    Receive,
+    Send,
+    Skip,
+    V,
+    While,
+    pretty_module,
+    pretty_procedure,
+    pretty_stmt,
+)
+
+
+def test_simple_statements():
+    assert pretty_stmt(Skip()) == "skip"
+    assert pretty_stmt(Assign("x", C(1))) == "x := 1"
+    assert pretty_stmt(MapAssign("d", V("i"), C(2))) == "d[i] := 2"
+    assert "havoc v" in pretty_stmt(Havoc("v", lambda _s: (1,)))
+    assert pretty_stmt(Assume(V("x") > C(0))) == "assume (x > 0)"
+    assert pretty_stmt(Assert(V("x") == C(0))) == "assert (x == 0)"
+
+
+def test_channel_statements():
+    assert pretty_stmt(Send("CH", V("j"), V("m"))) == "send m CH[j]"
+    assert pretty_stmt(Receive("y", "CH", V("i"))) == "y := receive CH[i]"
+    assert "[fifo]" in pretty_stmt(Send("Q", C("q"), C(1), kind="fifo"))
+
+
+def test_async_statement():
+    assert pretty_stmt(Async.of("Broadcast", i=V("i"))) == "async Broadcast(i=i)"
+
+
+def test_control_flow_indentation():
+    text = pretty_stmt(
+        If.of(V("c"), [Assign("x", C(1))], [While.of(V("c"), [Skip()])])
+    )
+    lines = text.splitlines()
+    assert lines[0].startswith("if ")
+    assert lines[1] == "    x := 1"
+    assert lines[2] == "else:"
+    assert lines[3].startswith("    while ")
+    assert lines[4] == "        skip"
+
+
+def test_foreach_and_block():
+    text = pretty_stmt(
+        Foreach.of("i", lambda _s: (1, 2), [Block.of(Skip(), Skip())])
+    )
+    assert text.splitlines()[0] == "for i in <domain>:"
+    assert text.count("skip") == 2
+
+
+def test_procedure_with_linear_class():
+    proc = Procedure("Work", ("i",), (Skip(),), linear_class="chain")
+    text = pretty_procedure(proc)
+    assert text.splitlines()[0] == "proc Work(i):  // linear class: chain"
+
+
+def test_module_main_first():
+    module = Module(
+        {
+            "Main": Procedure("Main", (), (Async.of("W"),)),
+            "W": Procedure("W", (), (Skip(),)),
+        },
+        global_vars=("x",),
+    )
+    text = pretty_module(module)
+    assert text.index("proc Main") < text.index("proc W")
+    assert "// globals: x" in text
+
+
+def test_broadcast_module_renders_like_figure_1():
+    from repro.protocols import broadcast
+
+    text = pretty_module(broadcast.make_module(2))
+    assert "proc Main():" in text
+    assert "async Broadcast(i=i)" in text
+    assert "send value[i] CH[j]" in text
+    assert "receive CH[i]" in text

@@ -1,0 +1,113 @@
+"""Tests for the enumerative first-order formula layer."""
+
+from repro.logic import (
+    And,
+    Atom,
+    Exists,
+    FALSE,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    TRUE,
+    check_validity,
+    count_conjuncts,
+)
+
+
+def _positive():
+    return Atom("x>0", lambda e: e["x"] > 0)
+
+
+def test_atom_eval():
+    assert _positive().holds({"x": 1})
+    assert not _positive().holds({"x": 0})
+
+
+def test_constants():
+    assert TRUE.holds({})
+    assert not FALSE.holds({})
+
+
+def test_connectives():
+    p, q = _positive(), Atom("x<10", lambda e: e["x"] < 10)
+    assert And((p, q)).holds({"x": 5})
+    assert not And((p, q)).holds({"x": 11})
+    assert Or((p, FALSE)).holds({"x": 1})
+    assert Not(p).holds({"x": -1})
+    assert Implies(p, q).holds({"x": -5})  # vacuous
+    assert not Implies(p, q).holds({"x": 50})
+
+
+def test_operator_sugar():
+    p, q = _positive(), Atom("even", lambda e: e["x"] % 2 == 0)
+    assert (p & q).holds({"x": 2})
+    assert (p | q).holds({"x": -2})
+    assert (~p).holds({"x": 0})
+    assert (p >> q).holds({"x": -1})
+
+
+def test_forall_over_static_domain():
+    formula = Forall("i", range(3), Atom("i<x", lambda e: e["i"] < e["x"]))
+    assert formula.holds({"x": 3})
+    assert not formula.holds({"x": 2})
+
+
+def test_exists_over_state_dependent_domain():
+    formula = Exists(
+        "i", lambda e: range(e["x"]), Atom("i=2", lambda e: e["i"] == 2)
+    )
+    assert formula.holds({"x": 3})
+    assert not formula.holds({"x": 2})
+
+
+def test_multi_variable_quantifier():
+    formula = Forall(
+        ("i", "j"),
+        range(3),
+        Atom("comm", lambda e: e["i"] + e["j"] == e["j"] + e["i"]),
+    )
+    assert formula.holds({})
+
+
+def test_nested_quantifiers_and_shadowing():
+    inner = Exists("i", range(2), Atom("eq", lambda e: e["i"] == e["j"]))
+    formula = Forall("j", range(2), inner)
+    assert formula.holds({})
+
+
+def test_bound_variable_shadows_state():
+    formula = Forall("x", range(1), Atom("x=0", lambda e: e["x"] == 0))
+    assert formula.holds({"x": 99})
+
+
+def test_count_conjuncts():
+    p = Atom("p", lambda _e: True)
+    assert count_conjuncts(p) == 1
+    assert count_conjuncts(And((p, p, p))) == 3
+    assert count_conjuncts(Forall("i", range(2), And((p, p)))) == 2
+    assert count_conjuncts(And((p, Forall("i", range(1), And((p, p)))))) == 3
+
+
+def test_check_validity_counterexamples():
+    holds, cex = check_validity(_positive(), [{"x": 1}, {"x": 0}, {"x": -1}])
+    assert not holds
+    assert len(cex) == 2
+    holds, cex = check_validity(_positive(), [{"x": 1}, {"x": 2}])
+    assert holds and not cex
+
+
+def test_check_validity_limit():
+    states = [{"x": 0}] * 100
+    _holds, cex = check_validity(_positive(), states, limit=3)
+    assert len(cex) == 3
+
+
+def test_reprs():
+    p = Atom("p", lambda _e: True)
+    assert "∀" in repr(Forall("i", range(1), p))
+    assert "∃" in repr(Exists("i", range(1), p))
+    assert "∧" in repr(And((p, p)))
+    assert "∨" in repr(Or((p, p)))
+    assert "¬" in repr(Not(p))
+    assert "⇒" in repr(Implies(p, p))

@@ -1,0 +1,139 @@
+"""Integration tests for broadcast consensus (Figure 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EMPTY_STORE,
+    check_program_refinement,
+    initial_config,
+    instance_summary,
+    random_execution,
+)
+from repro.protocols import broadcast
+
+
+class TestPrograms:
+    def test_initial_global_validates_values(self):
+        with pytest.raises(ValueError):
+            broadcast.initial_global(3, values=(1, 2))
+
+    def test_atomic_program_terminates_consistently(self):
+        n = 3
+        summary = instance_summary(
+            broadcast.make_atomic(n), broadcast.initial_global(n)
+        )
+        assert not summary.can_fail
+        values = broadcast.default_values(n)
+        assert all(
+            broadcast.spec_holds(final, n, values)
+            for final in summary.final_globals
+        )
+
+    def test_collect_blocks_until_n_messages(self):
+        n = 2
+        program = broadcast.make_atomic(n)
+        g0 = broadcast.initial_global(n)
+        collect = program["Collect"]
+        from repro.core import combine, Store
+
+        assert collect.outcomes(combine(g0, Store({"i": 1}))) == []
+
+
+class TestOneShotIS:
+    def test_conditions_pass(self):
+        app = broadcast.make_sequentialization(3)
+        universe = broadcast.make_universe(app.program, 3)
+        result = app.check(universe)
+        assert result.holds, result.report()
+
+    def test_transformed_program_refines(self):
+        n = 3
+        app = broadcast.make_sequentialization(n)
+        oracle = check_program_refinement(
+            app.program,
+            app.apply(),
+            [(broadcast.initial_global(n), EMPTY_STORE)],
+        )
+        assert oracle.holds
+
+    def test_main_prime_is_single_atomic_summary(self):
+        n = 2
+        app = broadcast.make_sequentialization(n)
+        sequential = app.apply_and_drop()
+        summary = instance_summary(sequential, broadcast.initial_global(n))
+        values = broadcast.default_values(n)
+        assert all(
+            broadcast.spec_holds(final, n, values)
+            for final in summary.final_globals
+        )
+
+
+class TestIteratedIS:
+    def test_both_applications_pass(self):
+        report = broadcast.verify(n=3, iterated=True)
+        assert report.ok, report.summary()
+        assert report.num_is_applications == 2  # the Table 1 count
+
+    def test_second_collect_abs_needs_no_ghost_clause(self):
+        """Section 5.3: after eliminating Broadcast, CollectAbs no longer
+        needs the 'no pending Broadcasts' gate (line 33 of Figure 1)."""
+        apps = broadcast.make_iterated_sequentializations(3)
+        weaker_abs = apps[1].abstractions["Collect"]
+        from repro.core import Store, combine, Multiset, pa
+
+        # A store with a Broadcast still pending: the one-shot CollectAbs
+        # gate rejects it, the iterated one accepts it.
+        g = broadcast.initial_global(3).set(
+            "pendingAsyncs", Multiset([pa("Broadcast", i=1), pa("Collect", i=1)])
+        )
+        channels = g["CH"]
+        full = channels.set(1, channels[1].add(1).add(2).add(3))
+        g = g.set("CH", full)
+        state = combine(g, Store({"i": 1}))
+        assert weaker_abs.gate(state)
+        strict = broadcast.make_collect_abs(3, require_no_broadcasts=True)
+        assert not strict.gate(state)
+
+
+class TestVerifyPipeline:
+    def test_one_shot_report(self):
+        report = broadcast.verify(n=2, iterated=False)
+        assert report.ok
+        assert report.num_is_applications == 1
+        assert "broadcast" in report.summary()
+
+    @given(st.integers(min_value=2, max_value=4))
+    @settings(max_examples=3, deadline=None)
+    def test_scales_over_n(self, n):
+        assert broadcast.verify(n=n, iterated=False, ground_truth=(n < 4)).ok
+
+    @given(
+        st.lists(
+            st.integers(min_value=-5, max_value=5), min_size=3, max_size=3, unique=True
+        )
+    )
+    @settings(max_examples=5, deadline=None)
+    def test_arbitrary_value_assignments(self, values):
+        report = broadcast.verify(
+            n=3, values=values, iterated=False, ground_truth=False
+        )
+        assert report.ok
+
+
+def test_random_executions_reach_only_spec_states():
+    """Property: any random scheduler run of the *concurrent* program ends
+    in a state the sequentialization also reaches (refinement, sampled)."""
+    n = 3
+    app = broadcast.make_sequentialization(n)
+    sequential = app.apply_and_drop()
+    init = initial_config(broadcast.initial_global(n))
+    seq_finals = instance_summary(sequential, broadcast.initial_global(n)).final_globals
+    rng = random.Random(0)
+    for _ in range(20):
+        execution = random_execution(app.program, init, rng)
+        if execution.terminating:
+            assert execution.final.glob in seq_finals

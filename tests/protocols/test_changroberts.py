@@ -1,0 +1,102 @@
+"""Integration tests for Chang-Roberts leader election."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    EMPTY_STORE,
+    Multiset,
+    Store,
+    check_program_refinement,
+    combine,
+    instance_summary,
+    pa,
+)
+from repro.protocols import changroberts as cr
+
+
+def test_default_ids_are_a_permutation():
+    for n in range(2, 7):
+        assert sorted(cr.default_ids(n)) == list(range(1, n + 1))
+
+
+def test_atomic_program_elects_max():
+    n = 4
+    summary = instance_summary(cr.make_atomic(n), cr.initial_global(n))
+    assert not summary.can_fail
+    assert summary.final_globals
+    assert all(cr.spec_holds(g, n) for g in summary.final_globals)
+
+
+def test_handler_forward_drop_elect():
+    n = 3
+    program = cr.make_atomic(n)
+    g0 = cr.initial_global(n, ids=(2, 1, 3))
+    channels = g0["CH"]
+    # node 2 (id 1) holding message 2: forwards to node 3.
+    g = g0.set("CH", channels.set(2, channels[2].add(2)))
+    [t] = program["Handle"].outcomes(combine(g, Store({"j": 2})))
+    assert 2 in t.new_global["CH"][3]
+    assert t.created == Multiset([pa("Handle", j=3)])
+    # node 3 (id 3) holding message 2: drops.
+    g = g0.set("CH", channels.set(3, channels[3].add(2)))
+    [t] = program["Handle"].outcomes(combine(g, Store({"j": 3})))
+    assert not t.created
+    assert not t.new_global["leader"][3]
+    # node 3 holding its own id: becomes leader.
+    g = g0.set("CH", channels.set(3, channels[3].add(3)))
+    [t] = program["Handle"].outcomes(combine(g, Store({"j": 3})))
+    assert t.new_global["leader"][3]
+
+
+def test_upstream_threat_detection():
+    n = 3
+    g0 = cr.initial_global(n, ids=(1, 2, 3))
+    # Pending Init(3): id 3 would be forwarded everywhere; node 2 is
+    # threatened through node 1.
+    g = g0.set("pendingAsyncs", Multiset([pa("Init", i=3)]))
+    assert cr.upstream_threat(combine(g, Store()), 2, n)
+    # A small message at node 2 cannot pass node 3: node 1 is safe from it.
+    channels = g0["CH"]
+    g = g0.set("CH", channels.set(2, channels[2].add(1))).set(
+        "pendingAsyncs", Multiset([pa("Handle", j=2)])
+    )
+    assert not cr.upstream_threat(combine(g, Store()), 1, n)
+
+
+def test_two_is_applications_pass():
+    report = cr.verify(n=4)
+    assert report.ok, report.summary()
+    assert report.num_is_applications == 2  # the Table 1 count
+
+
+def test_transformed_program_refines():
+    n = 3
+    applications = cr.make_sequentializations(n)
+    original = applications[0][1].program
+    final = applications[1][1].apply_and_drop()
+    oracle = check_program_refinement(
+        original, final, [(cr.initial_global(n), EMPTY_STORE)]
+    )
+    assert oracle.holds
+
+
+@pytest.mark.parametrize("ids", list(itertools.permutations((1, 2, 3))))
+def test_all_id_placements_at_n3(ids):
+    report = cr.verify(n=3, ids=ids, ground_truth=True)
+    assert report.ok, report.summary()
+
+
+@given(st.permutations(list(range(1, 5))))
+@settings(max_examples=8, deadline=None)
+def test_random_id_permutations_at_n4(ids):
+    report = cr.verify(n=4, ids=tuple(ids), ground_truth=False)
+    assert report.ok
+
+
+def test_invalid_ids_rejected():
+    with pytest.raises(ValueError):
+        cr.initial_global(3, ids=(1, 1, 2))

@@ -1,0 +1,284 @@
+"""Cross-layer tests: fine-grained implementations P1 refine the atomic
+programs P2 (the CIVL step that precedes IS).
+
+The layers may use different variable representations — most prominently
+Paxos, where the implementation's ``acceptorState``/``joinChannel``/
+``voteChannel`` are hidden behind the abstract ``joinedNodes``/``voteInfo``
+(Section 5.2); the refinement is then checked on a shared observation view
+(the decision map), exactly as a client would use ``Paxos'``.
+"""
+
+import pytest
+
+from repro.core import EMPTY_STORE, Store, initial_config
+from repro.lang import build_finegrained, summarize_module
+from repro.protocols import broadcast, paxos, pingpong, prodcons
+from repro.reduction import check_layer_refinement
+
+
+class TestBroadcast:
+    def test_p1_refines_p2(self):
+        n = 2
+        module = broadcast.make_module(n)
+        p1 = build_finegrained(module)
+        p2 = broadcast.make_atomic(n)
+        g0 = broadcast.initial_global(n)
+        check = check_layer_refinement(
+            p1,
+            p2,
+            [(g0, module.initial_main_locals(), EMPTY_STORE)],
+            hidden_vars=("pendingAsyncs",),
+        )
+        assert check.holds
+
+    def test_summarized_module_refines_handwritten(self):
+        n = 2
+        module = broadcast.make_module(n)
+        summarized = summarize_module(module)
+        p2 = broadcast.make_atomic(n)
+        g0 = broadcast.initial_global(n)
+        check = check_layer_refinement(
+            summarized, p2, [(g0, EMPTY_STORE, EMPTY_STORE)]
+        )
+        assert check.holds
+
+
+class TestPingPong:
+    def test_p1_refines_p2_modulo_channel_representation(self):
+        rounds = 2
+        module = pingpong.make_module(rounds)
+        p1 = build_finegrained(module)
+        p2 = pingpong.make_atomic(rounds)
+
+        def impl_view(final: Store) -> Store:
+            channels = final["CHS"]
+            return Store(
+                {
+                    "last_ping": final["last_ping"],
+                    "last_pong": final["last_pong"],
+                    "ping": channels["ping"],
+                    "pong": channels["pong"],
+                }
+            )
+
+        def abstract_view(final: Store) -> Store:
+            return Store(
+                {
+                    "last_ping": final["last_ping"],
+                    "last_pong": final["last_pong"],
+                    "ping": final["ping_ch"],
+                    "pong": final["pong_ch"],
+                }
+            )
+
+        check = check_layer_refinement(
+            p1,
+            p2,
+            [
+                (
+                    pingpong.initial_impl_global(rounds),
+                    module.initial_main_locals(),
+                    pingpong.initial_global(rounds),
+                    EMPTY_STORE,
+                )
+            ],
+            concrete_view=impl_view,
+            abstract_view=abstract_view,
+        )
+        assert check.holds
+
+    def test_p1_asserts_hold(self):
+        from repro.core import explore
+
+        rounds = 2
+        module = pingpong.make_module(rounds)
+        p1 = build_finegrained(module)
+        init = initial_config(
+            pingpong.initial_impl_global(rounds), module.initial_main_locals()
+        )
+        result = explore(p1, [init])
+        assert not result.can_fail
+        assert result.final_globals
+
+
+class TestProdCons:
+    def test_p1_refines_p2_modulo_queue_representation(self):
+        bound = 3
+        module = prodcons.make_module(bound)
+        p1 = build_finegrained(module)
+        p2 = prodcons.make_atomic(bound)
+
+        def impl_view(final: Store) -> Store:
+            return Store({"consumed": final["consumed"], "queue": final["Q"]["q"]})
+
+        def abstract_view(final: Store) -> Store:
+            return Store({"consumed": final["consumed"], "queue": final["queue"]})
+
+        check = check_layer_refinement(
+            p1,
+            p2,
+            [
+                (
+                    prodcons.initial_impl_global(bound),
+                    module.initial_main_locals(),
+                    prodcons.initial_global(bound),
+                    EMPTY_STORE,
+                )
+            ],
+            concrete_view=impl_view,
+            abstract_view=abstract_view,
+        )
+        assert check.holds
+
+
+class TestChangRoberts:
+    def test_p1_refines_p2(self):
+        n = 3
+        from repro.protocols import changroberts as cr
+
+        module = cr.make_module(n)
+        p1 = build_finegrained(module)
+        p2 = cr.make_atomic(n)
+        g0 = cr.initial_global(n)
+        check = check_layer_refinement(
+            p1,
+            p2,
+            [(g0, module.initial_main_locals(), EMPTY_STORE)],
+            hidden_vars=("pendingAsyncs",),
+        )
+        assert check.holds
+
+    def test_p1_elects_the_max(self):
+        from repro.core import explore
+        from repro.protocols import changroberts as cr
+
+        n = 3
+        module = cr.make_module(n)
+        p1 = build_finegrained(module)
+        init = initial_config(cr.initial_global(n), module.initial_main_locals())
+        result = explore(p1, [init])
+        assert not result.can_fail
+        assert all(cr.spec_holds(g, n) for g in result.final_globals)
+
+
+class TestTwoPhase:
+    def test_p1_refines_p2(self):
+        from repro.protocols import twophase
+
+        n = 2
+        module = twophase.make_module(n)
+        p1 = build_finegrained(module)
+        p2 = twophase.make_atomic(n)
+        g0 = twophase.initial_global(n)
+        check = check_layer_refinement(
+            p1,
+            p2,
+            [(g0, module.initial_main_locals(), EMPTY_STORE)],
+            hidden_vars=("pendingAsyncs",),
+        )
+        assert check.holds
+
+    def test_p1_consistent_and_early_aborts(self):
+        from repro.core import explore
+        from repro.protocols import twophase
+
+        n = 2
+        module = twophase.make_module(n)
+        p1 = build_finegrained(module)
+        init = initial_config(twophase.initial_global(n), module.initial_main_locals())
+        result = explore(p1, [init])
+        assert not result.can_fail
+        assert all(twophase.spec_holds(g, n) for g in result.final_globals)
+        assert any(
+            g["decision"] == twophase.ABORT and len(g["CH"]["coord"]) > 0
+            for g in result.final_globals
+        )
+
+
+class TestNBuyer:
+    def test_p1_refines_p2(self):
+        from repro.protocols import nbuyer
+
+        n = 2
+        module = nbuyer.make_module(n)
+        p1 = build_finegrained(module)
+        p2 = nbuyer.make_atomic(n)
+        g0 = nbuyer.initial_global(n)
+        check = check_layer_refinement(
+            p1,
+            p2,
+            [(g0, module.initial_main_locals(), EMPTY_STORE)],
+            hidden_vars=("pendingAsyncs",),
+        )
+        assert check.holds
+
+    def test_p1_spec_holds(self):
+        from repro.core import explore
+        from repro.protocols import nbuyer
+
+        n = 2
+        module = nbuyer.make_module(n)
+        p1 = build_finegrained(module)
+        init = initial_config(nbuyer.initial_global(n), module.initial_main_locals())
+        result = explore(p1, [init])
+        assert not result.can_fail
+        assert all(nbuyer.spec_holds(g, n) for g in result.final_globals)
+
+
+class TestPaxos:
+    def test_implementation_refines_abstract_on_decisions(self):
+        R, N = 1, 2
+        module = paxos.make_module(R, N)
+        p1 = build_finegrained(module)
+        p2 = paxos.make_atomic(R, N)
+        check = check_layer_refinement(
+            p1,
+            p2,
+            [
+                (
+                    paxos.initial_impl_global(R, N),
+                    module.initial_main_locals(),
+                    paxos.initial_global(R, N),
+                    EMPTY_STORE,
+                )
+            ],
+            concrete_view=paxos.impl_decision_view,
+            abstract_view=paxos.impl_decision_view,
+            name="Paxos impl ≼ abstract (decision view)",
+        )
+        assert check.holds
+
+    def test_implementation_reaches_both_decisions_and_stalls(self):
+        from repro.core import explore
+
+        R, N = 1, 2
+        module = paxos.make_module(R, N)
+        p1 = build_finegrained(module)
+        init = initial_config(
+            paxos.initial_impl_global(R, N), module.initial_main_locals()
+        )
+        result = explore(p1, [init])
+        views = {paxos.impl_decision_view(g)["decision"][1] for g in result.final_globals}
+        assert views == {None, 1, 2}
+
+    @pytest.mark.slow
+    def test_implementation_refines_abstract_three_acceptors(self):
+        R, N = 1, 3
+        module = paxos.make_module(R, N)
+        p1 = build_finegrained(module)
+        p2 = paxos.make_atomic(R, N)
+        check = check_layer_refinement(
+            p1,
+            p2,
+            [
+                (
+                    paxos.initial_impl_global(R, N),
+                    module.initial_main_locals(),
+                    paxos.initial_global(R, N),
+                    EMPTY_STORE,
+                )
+            ],
+            concrete_view=paxos.impl_decision_view,
+            abstract_view=paxos.impl_decision_view,
+        )
+        assert check.holds

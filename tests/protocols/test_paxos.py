@@ -1,0 +1,189 @@
+"""Integration tests for single-decree Paxos (Figure 4)."""
+
+import pytest
+
+from repro.core import (
+    EMPTY_STORE,
+    Multiset,
+    Store,
+    check_program_refinement,
+    combine,
+    instance_summary,
+    pa,
+)
+from repro.protocols import paxos
+
+
+def test_quorum_is_majority():
+    assert paxos.is_quorum(frozenset({1, 2}), 3)
+    assert not paxos.is_quorum(frozenset({1}), 3)
+    assert paxos.is_quorum(frozenset({1, 2}), 2)
+
+
+def test_atomic_program_safe():
+    summary = instance_summary(
+        paxos.make_atomic(1, 3), paxos.initial_global(1, 3)
+    )
+    assert not summary.can_fail
+    assert all(paxos.spec_holds(g, 1) for g in summary.final_globals)
+
+
+def test_decisions_and_stalls_both_reachable():
+    """Message loss means rounds may stall; without loss they decide."""
+    summary = instance_summary(
+        paxos.make_atomic(1, 3), paxos.initial_global(1, 3)
+    )
+    decided = [g for g in summary.final_globals if g["decision"][1] is not None]
+    stalled = [g for g in summary.final_globals if g["decision"][1] is None]
+    assert decided and stalled
+
+
+def test_join_respects_higher_rounds():
+    program = paxos.make_atomic(2, 2)
+    g = paxos.initial_global(2, 2)
+    joined = g["joinedNodes"].set(2, frozenset({1}))
+    g = g.set("joinedNodes", joined)
+    outcomes = program["Join"].outcomes(combine(g, Store({"r": 1, "n": 1})))
+    # Node 1 has joined round 2: it may only drop the round-1 join.
+    assert len(outcomes) == 1
+    assert outcomes[0].new_global["joinedNodes"][1] == frozenset()
+
+
+def test_propose_adopts_highest_prior_vote():
+    program = paxos.make_atomic(2, 3)
+    g = paxos.initial_global(2, 3)
+    g = g.set("voteInfo", g["voteInfo"].set(1, (7, frozenset({1, 2}))))
+    g = g.set(
+        "joinedNodes", g["joinedNodes"].set(2, frozenset({1, 2, 3}))
+    )
+    outcomes = program["Propose"].outcomes(combine(g, Store({"r": 2})))
+    proposals = [
+        t.new_global["voteInfo"][2][0]
+        for t in outcomes
+        if t.new_global["voteInfo"][2] is not None
+    ]
+    assert proposals
+    # Every quorum of {1,2,3} intersects the voters {1,2}: value is forced.
+    assert set(proposals) == {7}
+
+
+def test_propose_free_choice_without_prior_votes():
+    program = paxos.make_atomic(1, 3, values=(1, 2))
+    g = paxos.initial_global(1, 3)
+    g = g.set("joinedNodes", g["joinedNodes"].set(1, frozenset({1, 2})))
+    outcomes = program["Propose"].outcomes(combine(g, Store({"r": 1})))
+    proposals = {
+        t.new_global["voteInfo"][1][0]
+        for t in outcomes
+        if t.new_global["voteInfo"][1] is not None
+    }
+    assert proposals == {1, 2}
+
+
+def test_propose_gate_forbids_second_proposal():
+    program = paxos.make_atomic(1, 2)
+    g = paxos.initial_global(1, 2)
+    g = g.set("voteInfo", g["voteInfo"].set(1, (1, frozenset())))
+    assert not program["Propose"].gate(combine(g, Store({"r": 1})))
+
+
+def test_vote_requires_matching_proposal_and_freshness():
+    program = paxos.make_atomic(2, 2)
+    g = paxos.initial_global(2, 2)
+    g = g.set("voteInfo", g["voteInfo"].set(1, (9, frozenset())))
+    # Node 1 joined round 2: its round-1 vote can only be dropped.
+    g2 = g.set("joinedNodes", g["joinedNodes"].set(2, frozenset({1})))
+    outcomes = program["Vote"].outcomes(combine(g2, Store({"r": 1, "n": 1, "v": 9})))
+    assert all(t.new_global["voteInfo"][1][1] == frozenset() for t in outcomes)
+    # Fresh node: the vote branch exists.
+    outcomes = program["Vote"].outcomes(combine(g, Store({"r": 1, "n": 1, "v": 9})))
+    assert any(t.new_global["voteInfo"][1][1] == frozenset({1}) for t in outcomes)
+
+
+def test_conclude_requires_vote_quorum():
+    program = paxos.make_atomic(1, 3)
+    g = paxos.initial_global(1, 3)
+    g = g.set("voteInfo", g["voteInfo"].set(1, (5, frozenset({1}))))
+    outcomes = program["Conclude"].outcomes(combine(g, Store({"r": 1, "v": 5})))
+    assert all(t.new_global["decision"][1] is None for t in outcomes)
+    g = g.set("voteInfo", g["voteInfo"].set(1, (5, frozenset({1, 2}))))
+    outcomes = program["Conclude"].outcomes(combine(g, Store({"r": 1, "v": 5})))
+    assert any(t.new_global["decision"][1] == 5 for t in outcomes)
+
+
+def test_propose_abs_gate_matches_figure_4c():
+    program = paxos.make_atomic(2, 2)
+    abstractions = paxos.make_abstractions(2, 2, program)
+    g = paxos.initial_global(2, 2)
+    # Pending Join of round <= r: gate must reject (lines 23-24).
+    g_busy = g.set("pendingAsyncs", Multiset([pa("Join", r=1, n=1), pa("Propose", r=1)]))
+    assert not abstractions["Propose"].gate(combine(g_busy, Store({"r": 1})))
+    g_quiet = g.set("pendingAsyncs", Multiset([pa("Propose", r=1), pa("Join", r=2, n=1)]))
+    assert abstractions["Propose"].gate(combine(g_quiet, Store({"r": 1})))
+
+
+def test_is_conditions_pass_r1():
+    report = paxos.verify(rounds=1, num_nodes=3)
+    assert report.ok, report.summary()
+    assert report.num_is_applications == 1  # the Table 1 count
+
+
+def test_ground_truth_refinement_r1():
+    app = paxos.make_sequentialization(1, 3)
+    oracle = check_program_refinement(
+        app.program, app.apply(), [(paxos.initial_global(1, 3), EMPTY_STORE)]
+    )
+    assert oracle.holds
+
+
+@pytest.mark.slow
+def test_is_conditions_pass_r2():
+    """The multi-round instance exercises the cross-round interference
+    that the Figure 4(c) abstraction gates exist for."""
+    report = paxos.verify(rounds=2, num_nodes=2)
+    assert report.ok, report.summary()
+
+
+@pytest.mark.slow
+def test_ground_truth_refinement_r2():
+    app = paxos.make_sequentialization(2, 2)
+    oracle = check_program_refinement(
+        app.program, app.apply(), [(paxos.initial_global(2, 2), EMPTY_STORE)]
+    )
+    assert oracle.holds
+
+
+@pytest.mark.slow
+def test_nondet_round_count_variant():
+    """The paper's 'arbitrary number of StartRound tasks': Main creates a
+    nondeterministically chosen number of rounds. The policy-derived
+    invariant covers every round count, and the IS conditions still hold."""
+    from repro.core import EMPTY_STORE
+    from repro.core.context import GhostContext
+    from repro.core.universe import StoreUniverse
+    from repro.core.semantics import initial_config
+    from repro.protocols.common import GHOST
+
+    app = paxos.make_sequentialization(2, 2, nondet_rounds=True)
+    universe = StoreUniverse.from_reachable(
+        app.program, [initial_config(paxos.initial_global(2, 2))]
+    ).with_context(GhostContext(GHOST))
+    assert app.check(universe).holds
+    oracle = check_program_refinement(
+        app.program, app.apply(), [(paxos.initial_global(2, 2), EMPTY_STORE)]
+    )
+    assert oracle.holds
+
+
+@pytest.mark.slow
+def test_sampled_universe_r2_n3():
+    report = paxos.verify_sampled(rounds=2, num_nodes=3, walks=60, seed=4)
+    assert report.ok, report.summary()
+
+
+def test_spec_accepts_partial_decisions():
+    g = paxos.initial_global(3, 2)
+    g = g.set("decision", g["decision"].update({1: 5, 3: 5}))
+    assert paxos.spec_holds(g, 3)
+    g = g.set("decision", g["decision"].set(3, 6))
+    assert not paxos.spec_holds(g, 3)

@@ -1,0 +1,120 @@
+"""Tests for layered refinement chains."""
+
+import pytest
+
+from repro.core import EMPTY_STORE, Store
+from repro.reduction import LayerLink, RefinementChain, check_layer_refinement
+
+from ..conftest import make_assert_program, make_counter_program
+
+
+def test_layer_refinement_identical_programs():
+    program = make_counter_program(2)
+    result = check_layer_refinement(
+        program, program, [(Store({"x": 0}), EMPTY_STORE, EMPTY_STORE)]
+    )
+    assert result.holds
+
+
+def test_layer_refinement_modulo_hidden_vars():
+    """Two programs whose final states differ only in a hidden variable."""
+    from repro.core import Action, Multiset, Program, Transition, pa
+
+    def main_with_ghost(state):
+        created = [pa("Inc", i=0)]
+        yield Transition(
+            state.restrict(("x", "ghost")).set("ghost", "dirty"), Multiset(created)
+        )
+
+    def inc(state):
+        yield Transition(
+            state.restrict(("x", "ghost")).set("x", state["x"] + 1)
+        )
+
+    ghostly = Program(
+        {
+            "Main": Action("Main", lambda _s: True, main_with_ghost),
+            "Inc": Action("Inc", lambda _s: True, inc, ("i",)),
+        },
+        global_vars=("x", "ghost"),
+    )
+    plain = make_counter_program(1)
+    init = Store({"x": 0, "ghost": "clean"})
+    assert not check_layer_refinement(
+        ghostly, plain, [(init, EMPTY_STORE, EMPTY_STORE)]
+    ).holds
+    assert check_layer_refinement(
+        ghostly, plain, [(init, EMPTY_STORE, EMPTY_STORE)], hidden_vars=("ghost",)
+    ).holds
+
+
+def test_layer_refinement_detects_missing_behaviour():
+    result = check_layer_refinement(
+        make_counter_program(2),
+        make_counter_program(1),
+        [(Store({"x": 0}), EMPTY_STORE, EMPTY_STORE)],
+    )
+    assert not result.holds
+
+
+def test_layer_refinement_failing_abstract_is_vacuous():
+    result = check_layer_refinement(
+        make_counter_program(1),
+        make_assert_program(0),
+        [(Store({"x": 0}), EMPTY_STORE, EMPTY_STORE)],
+    )
+    assert result.holds
+
+
+def test_chain_composition_enforced():
+    p1 = make_counter_program(1)
+    p2 = make_counter_program(1)
+    p3 = make_counter_program(1)
+    chain = RefinementChain()
+    chain.add(LayerLink("reduce", p1, p2))
+    with pytest.raises(ValueError):
+        chain.add(LayerLink("broken", p1, p3))  # p1 is not p2
+    chain.add(LayerLink("is", p2, p3))
+    assert chain.bottom is p1
+    assert chain.top is p3
+    assert chain.ok
+    assert "P1 ≼ P2" in chain.report()
+
+
+def test_chain_empty_errors():
+    chain = RefinementChain()
+    with pytest.raises(ValueError):
+        chain.top
+    with pytest.raises(ValueError):
+        chain.bottom
+
+
+def test_full_broadcast_chain():
+    """End-to-end layered verification of broadcast consensus:
+    P1 (fine-grained) ≼ P2 (atomic) ≼ P' (sequentialized)."""
+    from repro.protocols import broadcast
+    from repro.core import check_program_refinement
+
+    n = 2
+    module = broadcast.make_module(n)
+    from repro.lang import build_finegrained
+
+    p1 = build_finegrained(module)
+    p2 = broadcast.make_atomic(n)
+    application = broadcast.make_sequentialization(n)
+    p_prime = application.apply_and_drop()
+
+    g0 = broadcast.initial_global(n)
+    chain = RefinementChain()
+    link1 = LayerLink("summarization (reduction)", p1, p2)
+    link1.check = check_layer_refinement(
+        p1,
+        p2,
+        [(g0, module.initial_main_locals(), EMPTY_STORE)],
+        hidden_vars=("pendingAsyncs",),
+    )
+    chain.add(link1)
+    link2 = LayerLink("inductive sequentialization", p2, p_prime)
+    link2.check = check_program_refinement(p2, p_prime, [(g0, EMPTY_STORE)])
+    chain.add(link2)
+    assert chain.ok, chain.report()

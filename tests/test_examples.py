@@ -1,0 +1,53 @@
+"""Smoke tests running the example scripts end to end (small instances)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_quickstart():
+    result = _run("quickstart.py", "2")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "IS conditions hold" in result.stdout
+    assert "property (1)" in result.stdout
+
+
+def test_rewriting_demo():
+    result = _run("rewriting_demo.py", "2", "3")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "sequentialized execution (1 step)" in result.stdout
+    assert "identical final configuration" in result.stdout
+
+
+def test_paxos_walkthrough():
+    result = _run("paxos_walkthrough.py", "1", "2")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "ProposeAbs gate" in result.stdout
+    assert "no two rounds ever decide different values" in result.stdout
+
+
+def test_build_your_own():
+    result = _run("build_your_own.py", "2")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "IS conditions hold" in result.stdout
+    assert "counter ends at {2}" in result.stdout
+
+
+@pytest.mark.slow
+def test_run_table1():
+    result = _run("run_table1.py")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "Paxos" in result.stdout
