@@ -2,9 +2,11 @@
 
 Commands
 --------
-``table1``
+``table1 [--jobs N] [--stats]``
     Regenerate the Table 1 analogue (runs all seven verifications).
-``verify <protocol>``
+    ``--jobs`` discharges the IS obligations over N worker processes;
+    ``--stats`` adds per-obligation wall-time / enumeration statistics.
+``verify <protocol> [--jobs N]``
     Run one protocol's pipeline at its default instance parameters and
     print the report. Protocols: broadcast, pingpong, prodcons, nbuyer,
     changroberts, twophase, paxos.
@@ -18,11 +20,14 @@ import argparse
 import sys
 
 
-def _cmd_table1(_args) -> int:
-    from .analysis import build_table1, render_table1
+def _cmd_table1(args) -> int:
+    from .analysis import build_table1, render_obligation_stats, render_table1
 
-    rows = build_table1()
+    rows = build_table1(jobs=args.jobs)
     print(render_table1(rows))
+    if args.stats:
+        print()
+        print(render_obligation_stats(rows))
     return 0 if all(row.ok for row in rows) else 1
 
 
@@ -34,7 +39,7 @@ def _cmd_verify(args) -> int:
         print(f"unknown protocol {args.protocol!r}; try: "
               f"{', '.join(sorted(ALL_PROTOCOLS))}", file=sys.stderr)
         return 2
-    report = module.verify()
+    report = module.verify(jobs=args.jobs)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -58,9 +63,28 @@ def main(argv=None) -> int:
         "(PLDI 2020) — reproduction CLI",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("table1", help="regenerate the Table 1 analogue")
+    table1 = sub.add_parser("table1", help="regenerate the Table 1 analogue")
+    table1.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for obligation discharge (default: serial)",
+    )
+    table1.add_argument(
+        "--stats",
+        action="store_true",
+        help="also print per-obligation wall-time / enumeration statistics",
+    )
     verify = sub.add_parser("verify", help="verify one protocol")
     verify.add_argument("protocol")
+    verify.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for obligation discharge (default: serial)",
+    )
     sub.add_parser("list", help="list protocols")
     args = parser.parse_args(argv)
     return {"table1": _cmd_table1, "verify": _cmd_verify, "list": _cmd_list}[

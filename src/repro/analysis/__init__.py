@@ -1,7 +1,13 @@
 """Evaluation harness: metrics and the Table 1 analogue."""
 
 from .metrics import module_loc, source_loc
-from .table1 import TABLE1_REGISTRY, Table1Row, build_table1, render_table1
+from .table1 import (
+    TABLE1_REGISTRY,
+    Table1Row,
+    build_table1,
+    render_obligation_stats,
+    render_table1,
+)
 
 __all__ = [
     "module_loc",
@@ -10,4 +16,5 @@ __all__ = [
     "Table1Row",
     "build_table1",
     "render_table1",
+    "render_obligation_stats",
 ]

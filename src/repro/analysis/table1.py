@@ -10,8 +10,8 @@ computed. ``build_table1()`` runs everything and returns the rows;
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
 
 from ..protocols import (
     broadcast,
@@ -25,7 +25,13 @@ from ..protocols import (
 from ..protocols.common import ProtocolReport
 from .metrics import module_loc, source_loc
 
-__all__ = ["Table1Row", "TABLE1_REGISTRY", "build_table1", "render_table1"]
+__all__ = [
+    "Table1Row",
+    "TABLE1_REGISTRY",
+    "build_table1",
+    "render_table1",
+    "render_obligation_stats",
+]
 
 
 @dataclass
@@ -37,13 +43,20 @@ class Table1Row:
     loc_impl: int
     time_seconds: float
     ok: bool
+    #: Engine statistics: obligations discharged / stores enumerated across
+    #: the row's IS applications (0 when produced by the inline checker).
+    num_obligations: int = 0
+    num_checks: int = 0
+    #: The underlying report, for per-obligation drill-down
+    #: (:func:`render_obligation_stats`); not rendered in the table.
+    report: Optional[ProtocolReport] = field(default=None, repr=False, compare=False)
 
 
 @dataclass
 class _Entry:
     name: str
     module: object
-    verify: Callable[[], ProtocolReport]
+    verify: Callable[..., ProtocolReport]
     is_artifacts: Sequence[Callable]
     implementation: Sequence[Callable]
 
@@ -52,7 +65,7 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Broadcast consensus",
         broadcast,
-        lambda: broadcast.verify(n=3, iterated=True),
+        lambda jobs=None: broadcast.verify(n=3, iterated=True, jobs=jobs),
         (
             broadcast.make_invariant,
             broadcast.make_broadcast_invariant,
@@ -67,7 +80,7 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Ping-Pong",
         pingpong,
-        lambda: pingpong.verify(rounds=3),
+        lambda jobs=None: pingpong.verify(rounds=3, jobs=jobs),
         (
             pingpong.make_abstractions,
             pingpong.make_measure,
@@ -79,7 +92,7 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Producer-Consumer",
         prodcons,
-        lambda: prodcons.verify(bound=4),
+        lambda jobs=None: prodcons.verify(bound=4, jobs=jobs),
         (
             prodcons.make_consumer_abs,
             prodcons.make_measure,
@@ -91,14 +104,14 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "N-Buyer",
         nbuyer,
-        lambda: nbuyer.verify(n=3),
+        lambda jobs=None: nbuyer.verify(n=3, jobs=jobs),
         (nbuyer.make_measure, nbuyer.make_sequentializations),
         (nbuyer.make_atomic, nbuyer.initial_global),
     ),
     _Entry(
         "Chang-Roberts",
         changroberts,
-        lambda: changroberts.verify(n=4),
+        lambda jobs=None: changroberts.verify(n=4, jobs=jobs),
         (
             changroberts.make_handle_abs,
             changroberts.upstream_threat,
@@ -112,14 +125,14 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Two-phase commit",
         twophase,
-        lambda: twophase.verify(n=3),
+        lambda jobs=None: twophase.verify(n=3, jobs=jobs),
         (twophase.make_measure, twophase.make_sequentializations),
         (twophase.make_atomic, twophase.initial_global),
     ),
     _Entry(
         "Paxos",
         paxos,
-        lambda: paxos.verify(rounds=2, num_nodes=2),
+        lambda jobs=None: paxos.verify(rounds=2, num_nodes=2, jobs=jobs),
         (
             paxos.make_abstractions,
             paxos.make_measure,
@@ -131,11 +144,17 @@ TABLE1_REGISTRY: List[_Entry] = [
 ]
 
 
-def build_table1(entries: Sequence[_Entry] = None) -> List[Table1Row]:
-    """Run every example's full pipeline and assemble the table."""
+def build_table1(
+    entries: Sequence[_Entry] = None, jobs: Optional[int] = None
+) -> List[Table1Row]:
+    """Run every example's full pipeline and assemble the table.
+
+    ``jobs`` selects the obligation-discharge backend for the IS checks
+    (see ``repro.engine.scheduler``); verdicts are backend-independent.
+    """
     rows: List[Table1Row] = []
     for entry in entries if entries is not None else TABLE1_REGISTRY:
-        report = entry.verify()
+        report = entry.verify(jobs=jobs)
         rows.append(
             Table1Row(
                 example=entry.name,
@@ -145,22 +164,43 @@ def build_table1(entries: Sequence[_Entry] = None) -> List[Table1Row]:
                 loc_impl=source_loc(entry.implementation),
                 time_seconds=report.total_time,
                 ok=report.ok,
+                num_obligations=sum(
+                    r.num_obligations for _, r in report.is_results
+                ),
+                num_checks=sum(r.total_checked for _, r in report.is_results),
+                report=report,
             )
         )
     return rows
 
 
 def render_table1(rows: Sequence[Table1Row]) -> str:
-    """Render the table in the paper's column layout."""
+    """Render the table in the paper's column layout, extended with the
+    obligation engine's per-row statistics (#Obl, #Checks)."""
     header = (
         f"{'Example':<22} {'#IS':>4} {'LOC Total':>10} {'LOC IS':>7} "
-        f"{'LOC Impl':>9} {'Time (s)':>9}  {'Status':<6}"
+        f"{'LOC Impl':>9} {'Time (s)':>9} {'#Obl':>5} {'#Checks':>9}  "
+        f"{'Status':<6}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
         lines.append(
             f"{row.example:<22} {row.num_is:>4} {row.loc_total:>10} "
-            f"{row.loc_is:>7} {row.loc_impl:>9} {row.time_seconds:>9.2f}  "
+            f"{row.loc_is:>7} {row.loc_impl:>9} {row.time_seconds:>9.2f} "
+            f"{row.num_obligations:>5} {row.num_checks:>9}  "
             f"{'OK' if row.ok else 'FAIL':<6}"
         )
+    return "\n".join(lines)
+
+
+def render_obligation_stats(rows: Sequence[Table1Row], top: int = 5) -> str:
+    """Per-protocol drill-down: the slowest obligations of every IS
+    application, with wall-clock and enumeration counts."""
+    lines: List[str] = []
+    for row in rows:
+        if row.report is None:
+            continue
+        for label, result in row.report.is_results:
+            lines.append(f"{row.example} — IS[{label}]")
+            lines.append(result.obligation_report(top=top))
     return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Shared memoization for obligation discharge.
+
+Every IS obligation (I1, I2, I3, LM, CO — see Figure 3) is discharged by
+enumerating ``action.transitions(store)`` and ``action.gate(store)`` over a
+finite universe, and the same ``(action, store)`` evaluations recur across
+obligations: the invariant's transitions are enumerated by I1, I2 and I3
+alike, and every left-mover pair check re-evaluates the gates and outcomes
+of both actions. CIVL leans on Z3's aggressive term caching for the same
+effect; this module is the explicit-state analogue.
+
+:class:`EvaluationCache` memoizes gate and transition evaluations *per
+underlying callable pair*, so distinct :class:`~repro.core.action.Action`
+wrappers around the same gate/transition functions (the IS checks build
+several such views of the invariant) share one memo. Memoization is safe
+because actions are pure: their gates and transition enumerators depend
+only on the store argument.
+
+The per-process singleton (:func:`process_cache`) is keyed by PID: a
+process-pool worker never shares a live cache with its parent — after a
+``fork`` each child lazily rebuilds its own cache with fresh hit/miss
+counters (the parent's memo dicts become unreachable copy-on-write pages).
+:func:`caching_disabled` switches the layer off for baseline measurements.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .action import Action, Transition
+from .store import Store
+
+__all__ = [
+    "CacheStats",
+    "CachedAction",
+    "EvaluationCache",
+    "process_cache",
+    "active_cache",
+    "caching_disabled",
+    "reset_process_cache",
+]
+
+
+@dataclass
+class CacheStats:
+    """Monotone hit/miss counters for one cache (or an aggregate of them)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        return self.hits / self.total if self.total else 0.0
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(self.hits + other.hits, self.misses + other.misses)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class _Memo:
+    """Shared memo tables for one (gate, transitions) callable pair."""
+
+    __slots__ = ("gates", "outcomes", "gate_stats", "transition_stats")
+
+    def __init__(self) -> None:
+        self.gates: Dict[Store, bool] = {}
+        self.outcomes: Dict[Store, List[Transition]] = {}
+        self.gate_stats = CacheStats()
+        self.transition_stats = CacheStats()
+
+
+class CachedAction:
+    """A memoizing view of an action.
+
+    Presents the same evaluation surface as :class:`~repro.core.action.Action`
+    (``name``, ``params``, ``gate``, ``transitions``, ``outcomes``) while
+    routing every evaluation through a :class:`_Memo`, which may be shared
+    with other views of the same underlying callables.
+    """
+
+    __slots__ = ("action", "name", "params", "_memo")
+
+    def __init__(self, action: Action, memo: Optional[_Memo] = None):
+        self.action = action
+        self.name = action.name
+        self.params = action.params
+        self._memo = memo if memo is not None else _Memo()
+
+    def gate(self, state: Store) -> bool:
+        memo = self._memo
+        cached = memo.gates.get(state)
+        if cached is None:
+            memo.gate_stats.misses += 1
+            cached = bool(self.action.gate(state))
+            memo.gates[state] = cached
+        else:
+            memo.gate_stats.hits += 1
+        return cached
+
+    def transitions(self, state: Store) -> List[Transition]:
+        memo = self._memo
+        cached = memo.outcomes.get(state)
+        if cached is None:
+            memo.transition_stats.misses += 1
+            cached = list(self.action.transitions(state))
+            memo.outcomes[state] = cached
+        else:
+            memo.transition_stats.hits += 1
+        return cached
+
+    def outcomes(self, state: Store) -> List[Transition]:
+        """Alias matching :meth:`Action.outcomes` (already a list here)."""
+        return self.transitions(state)
+
+    def __repr__(self) -> str:
+        return f"CachedAction({self.name})"
+
+
+class EvaluationCache:
+    """Per-process registry of shared action memos.
+
+    Keyed by the ``(gate, transitions)`` callable pair, so the many
+    :class:`Action` views the IS checks construct around one invariant all
+    hit the same memo. Holding the callables as keys also keeps them alive,
+    ruling out id-reuse aliasing.
+    """
+
+    def __init__(self) -> None:
+        self.pid = os.getpid()
+        self._memos: Dict[Tuple[object, object], _Memo] = {}
+
+    def cached(self, action) -> CachedAction:
+        """A memoized view of ``action`` (idempotent on cached views)."""
+        if isinstance(action, CachedAction):
+            return action
+        key = (action.gate, action.transitions)
+        memo = self._memos.get(key)
+        if memo is None:
+            memo = _Memo()
+            self._memos[key] = memo
+        return CachedAction(action, memo)
+
+    def stats_by_kind(self) -> Dict[str, CacheStats]:
+        gate = CacheStats()
+        transitions = CacheStats()
+        for memo in self._memos.values():
+            gate = gate.merged(memo.gate_stats)
+            transitions = transitions.merged(memo.transition_stats)
+        return {"gate": gate, "transitions": transitions}
+
+    def stats(self) -> CacheStats:
+        by_kind = self.stats_by_kind()
+        return by_kind["gate"].merged(by_kind["transitions"])
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {kind: s.as_dict() for kind, s in self.stats_by_kind().items()}
+
+    def clear(self) -> None:
+        self._memos.clear()
+
+    def __len__(self) -> int:
+        return len(self._memos)
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"EvaluationCache(pid={self.pid}, {len(self._memos)} actions, "
+            f"{s.hits} hits / {s.misses} misses)"
+        )
+
+
+_PROCESS_CACHE: Optional[EvaluationCache] = None
+_DISABLED_DEPTH = 0
+
+
+def process_cache() -> EvaluationCache:
+    """The calling process's evaluation cache.
+
+    Lazily constructed, and reconstructed whenever the PID changed — a
+    forked process-pool worker therefore starts from an empty cache of its
+    own rather than mutating (a copy-on-write image of) its parent's.
+    """
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None or _PROCESS_CACHE.pid != os.getpid():
+        _PROCESS_CACHE = EvaluationCache()
+    return _PROCESS_CACHE
+
+
+def reset_process_cache() -> None:
+    """Drop the process cache (tests and benchmarks use this for cold runs)."""
+    global _PROCESS_CACHE
+    _PROCESS_CACHE = None
+
+
+def active_cache() -> Optional[EvaluationCache]:
+    """The process cache, or ``None`` while caching is disabled."""
+    if _DISABLED_DEPTH:
+        return None
+    return process_cache()
+
+
+@contextmanager
+def caching_disabled() -> Iterator[None]:
+    """Disable shared memoization in this process (re-entrant).
+
+    Used by benchmarks to measure the uncached baseline, and by tests to
+    cross-check that cached and uncached discharge agree.
+    """
+    global _DISABLED_DEPTH
+    _DISABLED_DEPTH += 1
+    try:
+        yield
+    finally:
+        _DISABLED_DEPTH -= 1

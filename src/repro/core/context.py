@@ -40,6 +40,17 @@ class PAContext:
     #: of pair decisions across the whole universe).
     state_dependent: bool = True
 
+    def cache_key(self, global_store: Store):
+        """The part of ``global_store`` this context's decisions depend on.
+
+        Returning a hashable key lets a :class:`~repro.core.universe.
+        StoreUniverse` memoize ``single``/``pair`` decisions under that key
+        (many globals share one key: e.g. all stores with the same ghost
+        multiset). Return ``None`` to declare the decision uncachable.
+        State-independent contexts depend on nothing, hence the constant.
+        """
+        return None if self.state_dependent else ()
+
     def single(self, global_store: Store, pending: PendingAsync) -> bool:
         """True if ``pending`` may be scheduled from ``global_store``."""
         raise NotImplementedError
@@ -132,6 +143,11 @@ class GhostContext(PAContext):
             )
         return value
 
+    def cache_key(self, global_store: Store):
+        # Decisions depend only on the ghost multiset, so all globals
+        # sharing a ghost value share one cache entry.
+        return self._ghost(global_store)
+
     def single(self, global_store: Store, pending: PendingAsync) -> bool:
         return pending in self._ghost(global_store)
 
@@ -139,5 +155,6 @@ class GhostContext(PAContext):
         self, global_store: Store, first: PendingAsync, second: PendingAsync
     ) -> bool:
         ghost = self._ghost(global_store)
-        required = Multiset([first, second])
-        return ghost.includes(required)
+        if first == second:
+            return ghost.count(first) >= 2
+        return first in ghost and second in ghost

@@ -22,23 +22,14 @@ action outcomes and stops at the first counterexample.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, Tuple
 
-from functools import lru_cache
-
-from .action import Action, Transition
+from .action import Action
+from .cache import CachedAction, active_cache
 from .program import Program
 from .refinement import CheckResult, _fail
-from .store import Store
-from .store import combine as _combine_raw
+from .store import Store, combine
 from .universe import StoreUniverse
-
-
-@lru_cache(maxsize=200_000)
-def combine(global_store: Store, local_store: Store) -> Store:
-    """Memoized store combination (the mover checks recombine the same
-    (global, local) pairs many times across condition and action pairs)."""
-    return _combine_raw(global_store, local_store)
 
 __all__ = [
     "MoverType",
@@ -68,35 +59,22 @@ class MoverType(enum.Enum):
         return self in (MoverType.RIGHT, MoverType.BOTH)
 
 
-class _CachedAction:
-    """Memoizing view of an action (actions are pure, so this is safe)."""
-
-    __slots__ = ("action", "name", "params", "_gates", "_outcomes")
-
-    def __init__(self, action: Action):
-        self.action = action
-        self.name = action.name
-        self.params = action.params
-        self._gates: Dict[Store, bool] = {}
-        self._outcomes: Dict[Store, List[Transition]] = {}
-
-    def gate(self, state: Store) -> bool:
-        cached = self._gates.get(state)
-        if cached is None:
-            cached = bool(self.action.gate(state))
-            self._gates[state] = cached
-        return cached
-
-    def transitions(self, state: Store) -> List[Transition]:
-        cached = self._outcomes.get(state)
-        if cached is None:
-            cached = list(self.action.transitions(state))
-            self._outcomes[state] = cached
-        return cached
+#: Memoizing action view, promoted to ``repro.core.cache`` (kept under the
+#: historical name for the mover-oracle internals).
+_CachedAction = CachedAction
 
 
-def _cached(action) -> _CachedAction:
-    return action if isinstance(action, _CachedAction) else _CachedAction(action)
+def _cached(action) -> CachedAction:
+    """A memoized view of ``action`` through the process-wide evaluation
+    cache, so gate/transition enumerations are shared across all mover and
+    IS obligations of a discharge run. Falls back to a private memo when
+    caching is disabled (see :func:`repro.core.cache.caching_disabled`)."""
+    if isinstance(action, CachedAction):
+        return action
+    cache = active_cache()
+    if cache is not None:
+        return cache.cached(action)
+    return CachedAction(action)
 
 
 def _gate_forward_preserved(
@@ -306,7 +284,7 @@ class MoverOracle:
     def __init__(self, program: Program, universe: StoreUniverse):
         self.program = program
         self.universe = universe
-        self._cached = {name: _CachedAction(a) for name, a in program.actions()}
+        self._cached = {name: _cached(a) for name, a in program.actions()}
         self._left: Dict[Tuple[str, str], bool] = {}
         self._right: Dict[Tuple[str, str], bool] = {}
 
@@ -359,5 +337,5 @@ def infer_mover_type(
     """Infer the mover type of ``action`` against the pool of actions in
     ``program`` (convenience wrapper over :class:`MoverOracle`)."""
     oracle = MoverOracle(program, universe)
-    oracle._cached[action.name] = _CachedAction(action)
+    oracle._cached[action.name] = _cached(action)
     return oracle.mover_type(action.name, skip=skip)

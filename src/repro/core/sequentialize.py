@@ -41,7 +41,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from .action import Action, PendingAsync, Transition
-from .movers import is_left_mover_wrt_program
+from .cache import active_cache
+from .movers import is_left_mover, is_left_mover_wrt_program
 from .multiset import Multiset
 from .program import Program
 from .refinement import CheckResult, _fail, check_action_refinement
@@ -116,9 +117,21 @@ def derive_m_prime(
 
 @dataclass
 class ISResult:
-    """Outcome of checking all IS conditions; per-condition results."""
+    """Outcome of checking all IS conditions; per-condition results.
+
+    ``timings`` and ``obligation_checked`` carry per-obligation wall-clock
+    and enumeration counts when the result was produced by the obligation
+    engine (``repro.engine.obligations``); both are bookkeeping only and
+    excluded from equality, which compares the condition map alone.
+    """
 
     conditions: Dict[str, CheckResult] = field(default_factory=dict)
+    timings: Dict[str, float] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    obligation_checked: Dict[str, int] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     @property
     def holds(self) -> bool:
@@ -126,6 +139,16 @@ class ISResult:
 
     def failed(self) -> List[CheckResult]:
         return [r for r in self.conditions.values() if not r.holds]
+
+    @property
+    def total_checked(self) -> int:
+        """Total enumeration count across all conditions."""
+        return sum(result.checked for result in self.conditions.values())
+
+    @property
+    def num_obligations(self) -> int:
+        """Number of engine obligations discharged (0 for inline checks)."""
+        return len(self.timings)
 
     def report(self) -> str:
         lines = []
@@ -136,6 +159,23 @@ class ISResult:
                 lines.append(f"         counterexample: {description}: {witness!r}")
         verdict = "IS conditions hold" if self.holds else "IS conditions FAILED"
         return verdict + "\n" + "\n".join(lines)
+
+    def obligation_report(self, top: int = 10) -> str:
+        """The slowest obligations with wall-clock and enumeration counts."""
+        if not self.timings:
+            return "(no obligation stats: result produced by inline checks)"
+        ranked = sorted(self.timings.items(), key=lambda kv: -kv[1])[:top]
+        lines = [
+            f"  {key:<40} {seconds * 1000:>9.1f} ms "
+            f"{self.obligation_checked.get(key, 0):>10} checks"
+            for key, seconds in ranked
+        ]
+        total = sum(self.timings.values())
+        header = (
+            f"{self.num_obligations} obligations, {self.total_checked} checks, "
+            f"{total:.2f}s total obligation time"
+        )
+        return header + "\n" + "\n".join(lines)
 
     def __bool__(self) -> bool:
         return self.holds
@@ -197,6 +237,7 @@ class ISApplication:
             raise ValueError(f"abstractions for actions outside E: {unknown}")
         if self.choice is None:
             self.choice = choice_by_priority(self.eliminated)
+        self._m_prime_canonical = self.m_prime is None
         if self.m_prime is None:
             self.m_prime = derive_m_prime(
                 self.invariant, self.eliminated, name=f"{self.m_name}'"
@@ -206,18 +247,32 @@ class ISApplication:
         """:math:`\\alpha(A)` (identity on unlisted actions)."""
         return self.abstractions.get(action_name, self.program[action_name])
 
+    @staticmethod
+    def _view(action):
+        """A memoized evaluation view of ``action`` (see ``repro.core.cache``);
+        the action itself when shared caching is disabled."""
+        cache = active_cache()
+        return cache.cached(action) if cache is not None else action
+
     # ------------------------------------------------------------------ #
     # Condition checks
     # ------------------------------------------------------------------ #
 
-    def check_abstractions(self, universe: StoreUniverse) -> Dict[str, CheckResult]:
-        """:math:`\\mathcal{P}(A) \\preccurlyeq \\alpha(A)` for all A ∈ E."""
+    def check_abstractions(
+        self, universe: StoreUniverse, names: Optional[Iterable[str]] = None
+    ) -> Dict[str, CheckResult]:
+        """:math:`\\mathcal{P}(A) \\preccurlyeq \\alpha(A)` for all A ∈ E.
+
+        ``names`` restricts the check to a subset of ``E`` (the obligation
+        engine discharges one action per obligation).
+        """
         results = {}
-        for name in self.eliminated:
+        pool = self.eliminated if names is None else tuple(names)
+        for name in pool:
             if name in self.abstractions:
                 results[f"abs[{name}]"] = check_action_refinement(
-                    self.program[name],
-                    self.abstractions[name],
+                    self._view(self.program[name]),
+                    self._view(self.abstractions[name]),
                     universe,
                     name=f"{name} ≼ α({name})",
                     pa_name=name,
@@ -230,12 +285,13 @@ class ISApplication:
         universe_for_m = universe.extended(
             extra_locals={self.invariant.name: universe.locals_for(self.m_name)}
         )
+        invariant = self._view(self.invariant)
         return check_action_refinement(
-            self.program[self.m_name],
+            self._view(self.program[self.m_name]),
             Action(
                 self.m_name,  # compare on M's locals
-                self.invariant.gate,
-                self.invariant.transitions,
+                invariant.gate,
+                invariant.transitions,
                 self.invariant.params,
             ),
             universe_for_m,
@@ -245,16 +301,27 @@ class ISApplication:
 
     def check_i2(self, universe: StoreUniverse) -> CheckResult:
         """(I2): I restricted to E-free transitions refines :math:`M'`."""
-        restricted = derive_m_prime(self.invariant, self.eliminated, name="I|E-free")
+        invariant = self._view(self.invariant)
+        restricted = derive_m_prime(invariant, self.eliminated, name="I|E-free")
+        if self._m_prime_canonical:
+            # Rebuild the canonical M' over the memoized invariant so both
+            # sides of the refinement share one enumeration per store.
+            m_prime = derive_m_prime(invariant, self.eliminated, name="M'")
+        else:
+            m_prime = self.m_prime
         return check_action_refinement(
             Action(self.m_name, restricted.gate, restricted.transitions),
-            Action(self.m_name, self.m_prime.gate, self.m_prime.transitions),
+            Action(self.m_name, m_prime.gate, m_prime.transitions),
             universe,
             name="I2: I without E-PAs ≼ M'",
             pa_name=self.m_name,
         )
 
-    def check_i3(self, universe: StoreUniverse) -> CheckResult:
+    def check_i3(
+        self,
+        universe: StoreUniverse,
+        globals_subset: Optional[Sequence[Store]] = None,
+    ) -> CheckResult:
         """(I3): the induction step.
 
         For every gate-satisfying store :math:`\\sigma` and transition
@@ -264,53 +331,76 @@ class ISApplication:
         1. the gate of :math:`A^*` holds on :math:`g_t \\cdot \\ell`, and
         2. composing :math:`t` with any :math:`A^*`-transition yields a
            transition in :math:`\\tau_I` from :math:`\\sigma`.
+
+        ``globals_subset`` restricts the outer quantifier to a slice of the
+        universe's globals; the obligation engine shards I3 along it (the
+        full check is the concatenation of the shards, in order).
         """
         result = CheckResult("I3: inductive step", True)
         names = set(self.eliminated)
-        for g, l, sigma in universe.combined(self.m_name):
-            if not universe.single_ok(g, self.m_name, l):
-                continue
-            if not self.invariant.gate(sigma):
-                continue
-            outcomes = list(self.invariant.transitions(sigma))
-            outcome_set = set(outcomes)
-            for t in outcomes:
-                if not any(p.action in names for p in t.created.support()):
+        invariant = self._view(self.invariant)
+        abstraction_views = {
+            name: self._view(self.abstraction_of(name)) for name in self.eliminated
+        }
+        globals_pool = (
+            universe.globals_ if globals_subset is None else globals_subset
+        )
+        locals_pool = universe.locals_for(self.m_name)
+        for g in globals_pool:
+            for l in locals_pool:
+                sigma = combine(g, l)
+                if not universe.single_ok(g, self.m_name, l):
                     continue
-                chosen = self.choice(sigma, t)
-                if chosen.action not in names or chosen not in t.created:
-                    _fail(result, "choice function selected an invalid PA", (sigma, t, chosen))
+                if not invariant.gate(sigma):
                     continue
-                abstraction = self.abstraction_of(chosen.action)
-                state_a = combine(t.new_global, chosen.locals)
-                result.checked += 1
-                if not abstraction.gate(state_a):
-                    _fail(
-                        result,
-                        f"gate of α({chosen.action}) fails after I-transition",
-                        (sigma, t, chosen),
-                    )
-                    continue
-                remaining = t.created.remove(chosen)
-                for tr_a in abstraction.transitions(state_a):
-                    composed = Transition(
-                        tr_a.new_global, remaining.union(tr_a.created)
-                    )
+                outcomes = list(invariant.transitions(sigma))
+                outcome_set = set(outcomes)
+                for t in outcomes:
+                    if not any(p.action in names for p in t.created.support()):
+                        continue
+                    chosen = self.choice(sigma, t)
+                    if chosen.action not in names or chosen not in t.created:
+                        _fail(result, "choice function selected an invalid PA", (sigma, t, chosen))
+                        continue
+                    abstraction = abstraction_views[chosen.action]
+                    state_a = combine(t.new_global, chosen.locals)
                     result.checked += 1
-                    if composed not in outcome_set:
+                    if not abstraction.gate(state_a):
                         _fail(
                             result,
-                            f"composition of I with α({chosen.action}) escapes τ_I",
-                            (sigma, t, chosen, tr_a),
+                            f"gate of α({chosen.action}) fails after I-transition",
+                            (sigma, t, chosen),
                         )
+                        continue
+                    remaining = t.created.remove(chosen)
+                    for tr_a in abstraction.transitions(state_a):
+                        composed = Transition(
+                            tr_a.new_global, remaining.union(tr_a.created)
+                        )
+                        result.checked += 1
+                        if composed not in outcome_set:
+                            _fail(
+                                result,
+                                f"composition of I with α({chosen.action}) escapes τ_I",
+                                (sigma, t, chosen, tr_a),
+                            )
         return result
 
     def check_lm(
-        self, universe: StoreUniverse, skip: Iterable[str] = ()
+        self,
+        universe: StoreUniverse,
+        skip: Iterable[str] = (),
+        names: Optional[Iterable[str]] = None,
     ) -> Dict[str, CheckResult]:
-        """(LM): every abstraction is a left mover w.r.t. the program."""
+        """(LM): every abstraction is a left mover w.r.t. the program.
+
+        ``names`` restricts to a subset of ``E``; the obligation engine goes
+        one granularity finer and discharges :meth:`check_lm_pair` per
+        (abstraction, program action) pair.
+        """
         results = {}
-        for name in self.eliminated:
+        pool = self.eliminated if names is None else tuple(names)
+        for name in pool:
             abstraction = self.abstraction_of(name)
             universe_for_abs = universe.extended(
                 extra_locals={abstraction.name: universe.locals_for(name)}
@@ -325,16 +415,57 @@ class ISApplication:
             results[f"LM[{name}]"] = check
         return results
 
-    def check_co(self, universe: StoreUniverse) -> CheckResult:
+    def lm_universe(self, universe: StoreUniverse, name: str) -> StoreUniverse:
+        """The universe the LM condition for ``name`` is checked over: the
+        abstraction borrows ``name``'s candidate locals."""
+        abstraction = self.abstraction_of(name)
+        return universe.extended(
+            extra_locals={abstraction.name: universe.locals_for(name)}
+        )
+
+    def check_lm_pair(
+        self,
+        universe: StoreUniverse,
+        name: str,
+        other: str,
+        universe_for_abs: Optional[StoreUniverse] = None,
+    ) -> CheckResult:
+        """One cell of the LM matrix: is :math:`\\alpha(name)` a left mover
+        w.r.t. the single program action ``other``? The union of these
+        cells over all non-skipped program actions equals
+        ``check_lm(universe)[f"LM[{name}]"]`` (the engine merges them).
+
+        ``universe_for_abs`` lets callers reuse one :meth:`lm_universe`
+        across all pairs of the same ``name`` (its pair-admissibility cache
+        is per-instance).
+        """
+        abstraction = self.abstraction_of(name)
+        if universe_for_abs is None:
+            universe_for_abs = self.lm_universe(universe, name)
+        return is_left_mover(
+            self._view(
+                Action(name, abstraction.gate, abstraction.transitions, abstraction.params)
+            ),
+            self._view(self.program[other]),
+            universe_for_abs,
+        )
+
+    def check_co(
+        self, universe: StoreUniverse, names: Optional[Iterable[str]] = None
+    ) -> CheckResult:
         """(CO): cooperation, checked locally thanks to monotonicity.
 
         For every A ∈ E and gate-satisfying store of :math:`\\alpha(A)`,
         some transition strictly decreases the lexicographic measure from
         :math:`(g, \\{(\\ell, A)\\})` to :math:`(g', \\Omega')`.
+
+        ``names`` restricts to a subset of ``E`` (one engine obligation per
+        eliminated action); the full condition is the in-order merge.
         """
         result = CheckResult("CO: cooperation", True)
-        for name in self.eliminated:
-            abstraction = self.abstraction_of(name)
+        pool = self.eliminated if names is None else tuple(names)
+        for name in pool:
+            abstraction = self._view(self.abstraction_of(name))
             for g in universe.globals_:
                 for l in universe.locals_for(name):
                     if not universe.single_ok(g, name, l):
@@ -363,14 +494,45 @@ class ISApplication:
     # ------------------------------------------------------------------ #
 
     def check(
-        self, universe: StoreUniverse, lm_skip: Iterable[str] = ()
+        self,
+        universe: StoreUniverse,
+        lm_skip: Iterable[str] = (),
+        jobs: Optional[int] = None,
+        scheduler=None,
+        fail_fast: bool = False,
     ) -> ISResult:
         """Check all IS conditions over a store universe.
 
         ``lm_skip`` excludes action names from the left-mover pool, used
         for iterated IS where previously eliminated actions have already
         disappeared from the program (Section 5.3).
+
+        The conditions are decomposed into an obligation DAG and discharged
+        by ``repro.engine.obligations`` — serially by default, or across
+        ``jobs`` worker processes (an explicit ``scheduler`` overrides
+        ``jobs``). ``fail_fast=True`` skips obligations whose dependencies
+        already failed; the default runs everything, matching
+        :meth:`check_inline`. The resulting condition map is identical for
+        every backend.
         """
+        from ..engine.obligations import discharge
+
+        return discharge(
+            self,
+            universe,
+            lm_skip=lm_skip,
+            jobs=jobs,
+            scheduler=scheduler,
+            fail_fast=fail_fast,
+        )
+
+    def check_inline(
+        self, universe: StoreUniverse, lm_skip: Iterable[str] = ()
+    ) -> ISResult:
+        """The pre-engine monolithic check: every condition in order, in
+        this process, with no obligation bookkeeping. Retained as the
+        regression oracle the engine's condition maps are compared against
+        (``tests/engine``)."""
         result = ISResult()
         result.conditions.update(self.check_abstractions(universe))
         result.conditions["I1"] = self.check_i1(universe)

@@ -15,6 +15,7 @@ and channels. :func:`combine` implements :math:`g \\cdot \\ell` and
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
 
 __all__ = ["Store", "EMPTY_STORE", "combine"]
@@ -116,11 +117,16 @@ class Store:
 EMPTY_STORE = Store()
 
 
+@lru_cache(maxsize=262_144)
 def combine(global_store: Store, local_store: Store) -> Store:
     """The paper's :math:`g \\cdot \\ell` combination of stores.
 
     Local variables shadow globals of the same name; protocols in this
     repository keep the two namespaces disjoint, so the distinction never
     matters in practice.
+
+    This is the single authoritative definition (``repro.core.movers``
+    re-exports it). Memoized: exploration and the mover/IS checks recombine
+    the same (global, local) pairs many times, and stores are immutable.
     """
     return global_store.merge(local_store)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 from .action import PendingAsync
+from .cache import CacheStats
 from .context import NoContext, PAContext
 from .explore import explore
 from .program import Program
@@ -49,6 +50,12 @@ class StoreUniverse:
     context: PAContext = field(default_factory=NoContext)
     _pair_cache: Dict[tuple, bool] = field(
         default_factory=dict, repr=False, compare=False
+    )
+    _single_cache: Dict[tuple, bool] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    context_cache_stats: CacheStats = field(
+        default_factory=CacheStats, repr=False, compare=False
     )
 
     @classmethod
@@ -142,7 +149,20 @@ class StoreUniverse:
 
     def single_ok(self, global_store: Store, action_name: str, locals_: Store) -> bool:
         """May PA ``(locals_, action_name)`` be scheduled from this global?"""
-        return self.context.single(global_store, PendingAsync(action_name, locals_))
+        ckey = self.context.cache_key(global_store)
+        if ckey is None:
+            return self.context.single(global_store, PendingAsync(action_name, locals_))
+        key = (ckey, action_name, locals_)
+        cached = self._single_cache.get(key)
+        if cached is None:
+            self.context_cache_stats.misses += 1
+            cached = self.context.single(
+                global_store, PendingAsync(action_name, locals_)
+            )
+            self._single_cache[key] = cached
+        else:
+            self.context_cache_stats.hits += 1
+        return cached
 
     def pair_ok(
         self,
@@ -152,23 +172,33 @@ class StoreUniverse:
         name2: str,
         locals2: Store,
     ) -> bool:
-        """May the two PAs coexist (as distinct PAs) in one configuration?"""
-        if not self.context.state_dependent:
-            key = (name1, locals1, name2, locals2)
-            cached = self._pair_cache.get(key)
-            if cached is None:
-                cached = self.context.pair(
-                    global_store,
-                    PendingAsync(name1, locals1),
-                    PendingAsync(name2, locals2),
-                )
-                self._pair_cache[key] = cached
-            return cached
-        return self.context.pair(
-            global_store,
-            PendingAsync(name1, locals1),
-            PendingAsync(name2, locals2),
-        )
+        """May the two PAs coexist (as distinct PAs) in one configuration?
+
+        Decisions are memoized under the context's
+        :meth:`~repro.core.context.PAContext.cache_key` — the fragment of
+        the global store the context actually reads (e.g. the ghost
+        multiset), under which many globals collapse to one entry.
+        """
+        ckey = self.context.cache_key(global_store)
+        if ckey is None:
+            return self.context.pair(
+                global_store,
+                PendingAsync(name1, locals1),
+                PendingAsync(name2, locals2),
+            )
+        key = (ckey, name1, locals1, name2, locals2)
+        cached = self._pair_cache.get(key)
+        if cached is None:
+            self.context_cache_stats.misses += 1
+            cached = self.context.pair(
+                global_store,
+                PendingAsync(name1, locals1),
+                PendingAsync(name2, locals2),
+            )
+            self._pair_cache[key] = cached
+        else:
+            self.context_cache_stats.hits += 1
+        return cached
 
     def with_context(self, context: PAContext) -> "StoreUniverse":
         """A copy of this universe under a different PA context."""

@@ -1,0 +1,328 @@
+"""The obligation DAG: IS conditions decomposed into schedulable units.
+
+``ISApplication.check_inline`` discharges Figure 3's conditions as six
+monolithic loops. This module decomposes the same work into an explicit DAG
+of named :class:`Obligation` values — one refinement check per abstracted
+action, I1, I2, contiguous shards of I3's outer quantifier, one left-mover
+check per (abstraction, program action) pair, and one cooperation check per
+eliminated action — and recomposes the per-obligation
+:class:`~repro.core.refinement.CheckResult` values into an
+:class:`~repro.core.sequentialize.ISResult` whose condition map is
+*identical* to the inline checker's (same keys, names, verdicts, check
+counts, and counterexamples), regardless of which scheduler discharged the
+obligations or in what order they completed.
+
+The DAG has depth two: LM and CO obligations of an abstracted action depend
+on its ``abs`` obligation, and I3 depends on all of them (it steps through
+every abstraction), so a failed abstraction lets a fail-fast scheduler skip
+the conditions that would be checking a refinement that does not hold.
+Skipping is a function of the DAG and recorded verdicts — never of timing —
+so fail-fast runs are deterministic too (skipped conditions carry an
+explicit ``skipped`` counterexample). The default is to run everything,
+matching the inline checker.
+
+Obligations are (de)hydratable by key: :func:`execute_obligation` takes an
+application + universe + obligation and runs exactly one unit of work, which
+is what the process-pool backend ships to workers (the payload travels by
+``fork`` inheritance; only keys and results cross the pipe — see
+``repro.engine.scheduler``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.refinement import CheckResult
+from ..core.sequentialize import ISApplication, ISResult
+from ..core.universe import StoreUniverse
+
+__all__ = [
+    "Obligation",
+    "build_obligations",
+    "execute_obligation",
+    "merge_outcomes",
+    "discharge",
+]
+
+#: Per-obligation counterexample cap, matching ``refinement._fail``.
+_KEEP = 5
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One schedulable unit of IS proof work.
+
+    ``kind`` is the condition family (``abs``/``I1``/``I2``/``I3``/``LM``/
+    ``CO``); ``condition`` is the key of the condition-map entry this
+    obligation contributes to (several obligations may share one, e.g. the
+    I3 shards); ``params`` are the instance parameters the executor
+    dispatches on; ``deps`` are keys of obligations whose failure makes
+    this one moot.
+    """
+
+    key: str
+    kind: str
+    condition: str
+    params: Tuple = ()
+    deps: Tuple[str, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"Obligation({self.key})"
+
+
+def build_obligations(
+    app: ISApplication,
+    universe: StoreUniverse,
+    lm_skip: Iterable[str] = (),
+    i3_shards: int = 1,
+) -> List[Obligation]:
+    """The obligation DAG for one IS application, in deterministic order.
+
+    The order is the inline checker's condition order (abs, I1, I2, I3, LM,
+    CO), which is also a topological order of the dependency edges — a
+    serial scheduler can walk the list front to back.
+
+    ``i3_shards`` splits I3's outer quantifier (the universe's globals)
+    into that many contiguous slices; the full condition is the in-order
+    concatenation of the shard results. Sharding changes only scheduling
+    granularity, never the merged condition map.
+    """
+    obligations: List[Obligation] = []
+    abs_keys: List[str] = []
+    for name in app.eliminated:
+        if name in app.abstractions:
+            key = f"abs[{name}]"
+            abs_keys.append(key)
+            obligations.append(
+                Obligation(key=key, kind="abs", condition=key, params=(name,))
+            )
+    all_abs = tuple(abs_keys)
+
+    obligations.append(Obligation(key="I1", kind="I1", condition="I1"))
+    obligations.append(Obligation(key="I2", kind="I2", condition="I2"))
+
+    num_globals = len(universe.globals_)
+    shards = max(1, min(int(i3_shards), max(1, num_globals)))
+    if shards == 1:
+        obligations.append(
+            Obligation(
+                key="I3",
+                kind="I3",
+                condition="I3",
+                params=(0, num_globals),
+                deps=all_abs,
+            )
+        )
+    else:
+        # Contiguous slices; remainder spread over the leading shards so
+        # sizes differ by at most one.
+        base, extra = divmod(num_globals, shards)
+        lo = 0
+        for i in range(shards):
+            hi = lo + base + (1 if i < extra else 0)
+            obligations.append(
+                Obligation(
+                    key=f"I3#{i}",
+                    kind="I3",
+                    condition="I3",
+                    params=(lo, hi),
+                    deps=all_abs,
+                )
+            )
+            lo = hi
+
+    skipped = set(lm_skip)
+    lm_targets = [x for x in app.program.action_names() if x not in skipped]
+    for name in app.eliminated:
+        dep = (f"abs[{name}]",) if name in app.abstractions else ()
+        for other in lm_targets:
+            obligations.append(
+                Obligation(
+                    key=f"LM[{name}|{other}]",
+                    kind="LM",
+                    condition=f"LM[{name}]",
+                    params=(name, other),
+                    deps=dep,
+                )
+            )
+        obligations.append(
+            Obligation(
+                key=f"CO[{name}]",
+                kind="CO",
+                condition="CO",
+                params=(name,),
+                deps=dep,
+            )
+        )
+    return obligations
+
+
+def execute_obligation(
+    app: ISApplication,
+    universe: StoreUniverse,
+    obligation: Obligation,
+    lm_universes: Optional[Dict[str, StoreUniverse]] = None,
+) -> CheckResult:
+    """Discharge one obligation, returning its raw :class:`CheckResult`.
+
+    ``lm_universes`` is an optional per-run memo of
+    :meth:`ISApplication.lm_universe` extensions, so the LM cells of one
+    abstraction share a single extended universe (and hence its
+    pair-admissibility cache) instead of rebuilding it per cell. Workers
+    keep one such memo per process.
+    """
+    kind = obligation.kind
+    if kind == "abs":
+        (name,) = obligation.params
+        return app.check_abstractions(universe, names=[name])[obligation.key]
+    if kind == "I1":
+        return app.check_i1(universe)
+    if kind == "I2":
+        return app.check_i2(universe)
+    if kind == "I3":
+        lo, hi = obligation.params
+        return app.check_i3(universe, globals_subset=universe.globals_[lo:hi])
+    if kind == "LM":
+        name, other = obligation.params
+        uni2 = None
+        if lm_universes is not None:
+            uni2 = lm_universes.get(name)
+            if uni2 is None:
+                uni2 = app.lm_universe(universe, name)
+                lm_universes[name] = uni2
+        return app.check_lm_pair(universe, name, other, universe_for_abs=uni2)
+    if kind == "CO":
+        (name,) = obligation.params
+        return app.check_co(universe, names=[name])
+    raise ValueError(f"unknown obligation kind {kind!r}")
+
+
+def _skipped_result(name: str, failed_deps: Iterable[str]) -> CheckResult:
+    result = CheckResult(name, False)
+    for dep in failed_deps:
+        result.counterexamples.append(
+            (f"skipped: dependency {dep} failed", None)
+        )
+    return result
+
+
+def merge_outcomes(
+    app: ISApplication,
+    obligations: List[Obligation],
+    results: Mapping[str, CheckResult],
+    timings: Optional[Mapping[str, float]] = None,
+) -> ISResult:
+    """Recompose per-obligation results into the inline condition map.
+
+    Deterministic: iterates ``obligations`` in build order, so the merged
+    map is independent of scheduler, job count, and completion order.
+
+    * ``abs``/``I1``/``I2`` map one-to-one onto condition entries.
+    * ``I3`` shards concatenate: checks are summed and counterexamples
+      joined in shard order then truncated to the inline checker's cap of
+      five (each shard keeps its *first* five, so the concatenation's
+      prefix equals the unsharded enumeration's prefix).
+    * ``LM`` cells fold into one per-abstraction condition exactly like
+      ``is_left_mover_wrt_program``: checks summed over program actions in
+      program order, counterexamples prefixed ``wrt {action}:`` (no cap,
+      matching the inline merge).
+    * ``CO`` per-action results concatenate into the single cooperation
+      condition, truncated to five like I3.
+    """
+    merged = ISResult()
+    conditions = merged.conditions
+    for ob in obligations:
+        sub = results.get(ob.key)
+        if sub is None:
+            continue
+        if ob.kind in ("abs", "I1", "I2"):
+            conditions[ob.condition] = sub
+        elif ob.kind == "I3":
+            acc = conditions.get(ob.condition)
+            if acc is None:
+                acc = CheckResult("I3: inductive step", True)
+                conditions[ob.condition] = acc
+            acc.checked += sub.checked
+            if not sub.holds:
+                acc.holds = False
+                remaining = _KEEP - len(acc.counterexamples)
+                if remaining > 0:
+                    acc.counterexamples.extend(sub.counterexamples[:remaining])
+        elif ob.kind == "LM":
+            name, other = ob.params
+            acc = conditions.get(ob.condition)
+            if acc is None:
+                acc = CheckResult(f"LM: α({name}) left mover wrt P", True)
+                conditions[ob.condition] = acc
+            acc.checked += sub.checked
+            if not sub.holds:
+                acc.holds = False
+                acc.counterexamples.extend(
+                    (f"wrt {other}: {d}", w) for d, w in sub.counterexamples
+                )
+        elif ob.kind == "CO":
+            acc = conditions.get(ob.condition)
+            if acc is None:
+                acc = CheckResult("CO: cooperation", True)
+                conditions[ob.condition] = acc
+            acc.checked += sub.checked
+            if not sub.holds:
+                acc.holds = False
+                remaining = _KEEP - len(acc.counterexamples)
+                if remaining > 0:
+                    acc.counterexamples.extend(sub.counterexamples[:remaining])
+        merged.obligation_checked[ob.key] = sub.checked
+        if timings is not None and ob.key in timings:
+            merged.timings[ob.key] = timings[ob.key]
+    return merged
+
+
+def discharge(
+    app: ISApplication,
+    universe: StoreUniverse,
+    lm_skip: Iterable[str] = (),
+    jobs: Optional[int] = None,
+    scheduler=None,
+    fail_fast: bool = False,
+) -> ISResult:
+    """Build, schedule, and merge the obligation DAG for one application.
+
+    ``jobs`` selects the backend (``None``/``0``/``1``: serial; ``>1``:
+    fork-based process pool, falling back to serial where ``fork`` is
+    unavailable); an explicit ``scheduler`` instance overrides it. I3 is
+    sharded to match the worker count so its outer quantifier — typically
+    the bulkiest single obligation — spreads across the pool.
+    """
+    from .scheduler import make_scheduler
+
+    if scheduler is None:
+        scheduler = make_scheduler(jobs)
+    obligations = build_obligations(
+        app, universe, lm_skip=lm_skip, i3_shards=scheduler.parallelism
+    )
+    outcomes = scheduler.run(app, universe, obligations, fail_fast=fail_fast)
+    results: Dict[str, CheckResult] = {}
+    timings: Dict[str, float] = {}
+    by_key = {ob.key: ob for ob in obligations}
+    for key, outcome in outcomes.items():
+        timings[key] = outcome.elapsed
+        if outcome.result is not None:
+            results[key] = outcome.result
+        else:
+            ob = by_key[key]
+            failed = [
+                d
+                for d in ob.deps
+                if (o := outcomes.get(d)) is not None
+                and o.result is not None
+                and not o.result.holds
+            ]
+            name = {
+                "I3": "I3: inductive step",
+                "CO": "CO: cooperation",
+            }.get(ob.kind, ob.key)
+            if ob.kind == "LM":
+                name = f"α({ob.params[0]}) vs {ob.params[1]}"
+            results[key] = _skipped_result(name, failed or ob.deps)
+    return merge_outcomes(app, obligations, results, timings=timings)

@@ -1,0 +1,215 @@
+"""Pluggable schedulers discharging an obligation DAG.
+
+Two backends share one contract: given an application, a universe, and the
+obligation list from :func:`~repro.engine.obligations.build_obligations`,
+produce an :class:`ObligationOutcome` per obligation. Merging back into an
+``ISResult`` is the caller's job and iterates the obligation list in build
+order, so the backends only have to run the right work — completion order
+never leaks into the result.
+
+:class:`SerialScheduler` walks the list front to back (the build order is
+topological). :class:`ProcessPoolScheduler` fans obligations out over a
+``fork``-based :class:`~concurrent.futures.ProcessPoolExecutor`. Actions
+are closures and therefore not picklable, so the work *payload* (the
+application and universe) travels to workers by fork inheritance through a
+module global set just before the pool spins up; only obligation **keys**
+go down the pipe and only ``CheckResult`` values (plain data over stores,
+transitions, and multisets — all picklable) come back. Each worker's
+evaluation caches are rebuilt per process (``repro.core.cache`` keys its
+singleton by PID), never shared or shipped.
+
+Fail-fast mode discharges the DAG in dependency waves and skips — marks
+with ``result=None`` — obligations whose dependencies failed. Which
+obligations are skipped depends only on the DAG and the recorded verdicts,
+not on timing, so fail-fast runs are deterministic across backends too.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.refinement import CheckResult
+from ..core.sequentialize import ISApplication
+from ..core.universe import StoreUniverse
+
+__all__ = [
+    "ObligationOutcome",
+    "SerialScheduler",
+    "ProcessPoolScheduler",
+    "make_scheduler",
+]
+
+
+@dataclass
+class ObligationOutcome:
+    """What the scheduler recorded for one obligation.
+
+    ``result`` is ``None`` when a fail-fast run skipped the obligation
+    because a dependency failed. ``cache_stats`` is the discharging
+    process's cumulative evaluation-cache snapshot (hits/misses by kind)
+    taken right after the obligation ran — benchmarks aggregate the last
+    snapshot per ``pid``.
+    """
+
+    key: str
+    result: Optional[CheckResult]
+    elapsed: float
+    pid: int
+    cache_stats: Optional[dict] = None
+
+
+def _failed_deps(obligation, verdicts: Dict[str, bool]) -> List[str]:
+    return [d for d in obligation.deps if verdicts.get(d) is False]
+
+
+def _waves(obligations) -> List[List]:
+    """Partition into dependency waves (all deps of wave *i* are in waves
+    ``< i``); within a wave, build order is preserved."""
+    placed: Dict[str, int] = {}
+    waves: List[List] = []
+    for ob in obligations:
+        depth = 0
+        for d in ob.deps:
+            if d in placed:
+                depth = max(depth, placed[d] + 1)
+        placed[ob.key] = depth
+        while len(waves) <= depth:
+            waves.append([])
+        waves[depth].append(ob)
+    return waves
+
+
+class SerialScheduler:
+    """Discharge every obligation in this process, in build order."""
+
+    parallelism = 1
+
+    def run(
+        self,
+        app: ISApplication,
+        universe: StoreUniverse,
+        obligations: Sequence,
+        fail_fast: bool = False,
+    ) -> Dict[str, ObligationOutcome]:
+        from .obligations import execute_obligation
+
+        pid = os.getpid()
+        outcomes: Dict[str, ObligationOutcome] = {}
+        verdicts: Dict[str, bool] = {}
+        lm_universes: Dict[str, StoreUniverse] = {}
+        for ob in obligations:
+            if fail_fast and _failed_deps(ob, verdicts):
+                outcomes[ob.key] = ObligationOutcome(ob.key, None, 0.0, pid)
+                continue
+            started = time.perf_counter()
+            result = execute_obligation(app, universe, ob, lm_universes)
+            elapsed = time.perf_counter() - started
+            verdicts[ob.key] = result.holds
+            outcomes[ob.key] = ObligationOutcome(ob.key, result, elapsed, pid)
+        return outcomes
+
+    def __repr__(self) -> str:
+        return "SerialScheduler()"
+
+
+# ----------------------------------------------------------------------- #
+# Process-pool backend
+# ----------------------------------------------------------------------- #
+
+#: Fork-inherited work payload: ``(app, universe, {key: obligation})``.
+#: Set in the parent immediately before the pool is created; workers read
+#: it from their copy-on-write image. Keys are the only thing pickled.
+_WORKER_PAYLOAD: Optional[Tuple[ISApplication, StoreUniverse, dict]] = None
+
+#: Per-worker memo of LM-extended universes (see ``execute_obligation``).
+_WORKER_LM_UNIVERSES: Dict[str, StoreUniverse] = {}
+
+
+def _worker_run(key: str):
+    from ..core.cache import process_cache
+    from .obligations import execute_obligation
+
+    app, universe, by_key = _WORKER_PAYLOAD
+    started = time.perf_counter()
+    result = execute_obligation(app, universe, by_key[key], _WORKER_LM_UNIVERSES)
+    elapsed = time.perf_counter() - started
+    return key, result, elapsed, os.getpid(), process_cache().as_dict()
+
+
+class ProcessPoolScheduler:
+    """Discharge obligations across ``jobs`` forked worker processes.
+
+    Falls back to serial execution when the platform lacks the ``fork``
+    start method (the payload cannot be pickled for ``spawn``). In
+    fail-fast mode the DAG is processed in dependency waves: a wave's
+    futures all resolve before dependents are (not) submitted, so skipping
+    decisions are wave-synchronous and deterministic.
+    """
+
+    def __init__(self, jobs: int):
+        self.jobs = max(2, int(jobs))
+
+    @property
+    def parallelism(self) -> int:
+        return self.jobs if _fork_available() else 1
+
+    def run(
+        self,
+        app: ISApplication,
+        universe: StoreUniverse,
+        obligations: Sequence,
+        fail_fast: bool = False,
+    ) -> Dict[str, ObligationOutcome]:
+        if not _fork_available():
+            return SerialScheduler().run(
+                app, universe, obligations, fail_fast=fail_fast
+            )
+        from concurrent.futures import ProcessPoolExecutor
+
+        global _WORKER_PAYLOAD
+        by_key = {ob.key: ob for ob in obligations}
+        outcomes: Dict[str, ObligationOutcome] = {}
+        verdicts: Dict[str, bool] = {}
+        _WORKER_PAYLOAD = (app, universe, by_key)
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=context
+            ) as pool:
+                for wave in _waves(obligations):
+                    futures = []
+                    for ob in wave:
+                        if fail_fast and _failed_deps(ob, verdicts):
+                            outcomes[ob.key] = ObligationOutcome(
+                                ob.key, None, 0.0, os.getpid()
+                            )
+                            continue
+                        futures.append(pool.submit(_worker_run, ob.key))
+                    for future in futures:
+                        key, result, elapsed, pid, stats = future.result()
+                        verdicts[key] = result.holds
+                        outcomes[key] = ObligationOutcome(
+                            key, result, elapsed, pid, cache_stats=stats
+                        )
+        finally:
+            _WORKER_PAYLOAD = None
+        return outcomes
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolScheduler(jobs={self.jobs})"
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def make_scheduler(jobs: Optional[int] = None):
+    """The backend for a ``--jobs`` value: serial for ``None``/``<2``,
+    a process pool otherwise."""
+    if jobs is None or jobs < 2:
+        return SerialScheduler()
+    return ProcessPoolScheduler(jobs)

@@ -473,6 +473,7 @@ def verify(
     values: Optional[Sequence[int]] = None,
     iterated: bool = True,
     ground_truth: bool = True,
+    jobs: Optional[int] = None,
 ) -> ProtocolReport:
     """Full pipeline: IS condition checks, sequential spec on the
     transformed program, and (optionally) the ground-truth refinement
@@ -495,7 +496,7 @@ def verify(
     for label, application in zip(labels, applications):
         with timed(report, f"IS[{label}]"):
             universe = make_universe(application.program, n, values)
-            result = application.check(universe)
+            result = application.check(universe, jobs=jobs)
         report.is_results.append((label, result))
         final_program = application.apply_and_drop()
 

@@ -369,7 +369,10 @@ def spec_holds(final_global: Store, n: int) -> bool:
 
 
 def verify(
-    n: int = 4, ids: Optional[Sequence[int]] = None, ground_truth: bool = True
+    n: int = 4,
+    ids: Optional[Sequence[int]] = None,
+    ground_truth: bool = True,
+    jobs: Optional[int] = None,
 ) -> ProtocolReport:
     """Full pipeline for Chang-Roberts."""
     applications = make_sequentializations(n)
@@ -381,4 +384,5 @@ def verify(
         initial_global(n, ids),
         lambda final: spec_holds(final, n),
         ground_truth=ground_truth,
+        jobs=jobs,
     )

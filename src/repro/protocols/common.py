@@ -173,6 +173,7 @@ def verify_protocol(
     spec_fn: Callable[[Store], bool],
     ground_truth: bool = True,
     max_configs: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> ProtocolReport:
     """Generic protocol pipeline: check each IS application over the
     reachable universe (under the ghost PA context), then the sequential
@@ -180,7 +181,8 @@ def verify_protocol(
 
     ``applications`` is a list of ``(label, ISApplication)`` pairs whose
     programs are already chained (each application's program is the output
-    of the previous one).
+    of the previous one). ``jobs`` selects the obligation-discharge backend
+    (see ``repro.engine.scheduler``); verdicts are backend-independent.
     """
     from ..core.context import GhostContext
     from ..core.explore import instance_summary
@@ -198,7 +200,7 @@ def verify_protocol(
                 [initial_config(initial_global)],
                 max_configs=max_configs,
             ).with_context(GhostContext(GHOST))
-            result = application.check(universe)
+            result = application.check(universe, jobs=jobs)
         report.is_results.append((label, result))
         final_program = application.apply_and_drop()
 

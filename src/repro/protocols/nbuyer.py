@@ -17,7 +17,7 @@ assertion — the potentially interfering actions have already left the pool.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from ..core.action import Action, PendingAsync, Transition
 from ..core.mapping import FrozenDict
@@ -396,6 +396,7 @@ def verify(
     prices: Sequence[int] = (2, 3),
     contributions: Sequence[int] = (0, 1, 2),
     ground_truth: bool = True,
+    jobs: Optional[int] = None,
 ) -> ProtocolReport:
     """Full pipeline for N-Buyer."""
     applications = make_sequentializations(n, prices, contributions)
@@ -407,4 +408,5 @@ def verify(
         initial_global(n),
         lambda final: spec_holds(final, n),
         ground_truth=ground_truth,
+        jobs=jobs,
     )

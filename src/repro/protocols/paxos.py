@@ -617,6 +617,7 @@ def verify_sampled(
     values: Sequence[int] = (1, 2),
     walks: int = 300,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> ProtocolReport:
     """Bounded variant for instances whose reachable state space defies
     enumeration (R=2, N=3 has ~6·10^5 configurations): the IS conditions
@@ -639,7 +640,7 @@ def verify_sampled(
         universe = StoreUniverse.from_random_walks(
             application.program, [init], walks=walks, seed=seed
         ).with_context(GhostContext(GHOST))
-        report.is_results.append(("Paxos", application.check(universe)))
+        report.is_results.append(("Paxos", application.check(universe, jobs=jobs)))
     with timed(report, "sequential spec"):
         summary = instance_summary(
             application.apply_and_drop(), initial_global(rounds, num_nodes)
@@ -658,6 +659,7 @@ def verify(
     values: Sequence[int] = (1, 2),
     ground_truth: bool = False,
     max_configs: Optional[int] = None,
+    jobs: Optional[int] = None,
 ) -> ProtocolReport:
     """Full pipeline for Paxos.
 
@@ -674,4 +676,5 @@ def verify(
         lambda final: spec_holds(final, rounds),
         ground_truth=ground_truth,
         max_configs=max_configs,
+        jobs=jobs,
     )

@@ -16,7 +16,7 @@ own PA with the next round's, the cooperation measure is a PA *potential*
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Optional
 
 from ..core.action import Action, PendingAsync, Transition
 from ..core.multiset import EMPTY, Multiset
@@ -310,7 +310,9 @@ def spec_holds(final_global: Store, rounds: int) -> bool:
     )
 
 
-def verify(rounds: int = 3, ground_truth: bool = True) -> ProtocolReport:
+def verify(
+    rounds: int = 3, ground_truth: bool = True, jobs: Optional[int] = None
+) -> ProtocolReport:
     """Full pipeline for Ping-Pong."""
     application = make_sequentialization(rounds)
     return verify_protocol(
@@ -321,4 +323,5 @@ def verify(rounds: int = 3, ground_truth: bool = True) -> ProtocolReport:
         initial_global(rounds),
         lambda final: spec_holds(final, rounds),
         ground_truth=ground_truth,
+        jobs=jobs,
     )

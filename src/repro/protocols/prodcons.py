@@ -12,7 +12,7 @@ in the paper.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterator, Optional
 
 from ..core.action import Action, PendingAsync, Transition
 from ..core.multiset import Multiset
@@ -214,7 +214,9 @@ def spec_holds(final_global: Store, bound: int) -> bool:
     return final_global["consumed"] == bound and final_global["queue"] == ()
 
 
-def verify(bound: int = 4, ground_truth: bool = True) -> ProtocolReport:
+def verify(
+    bound: int = 4, ground_truth: bool = True, jobs: Optional[int] = None
+) -> ProtocolReport:
     """Full pipeline for Producer-Consumer."""
     application = make_sequentialization(bound)
     return verify_protocol(
@@ -225,4 +227,5 @@ def verify(bound: int = 4, ground_truth: bool = True) -> ProtocolReport:
         initial_global(bound),
         lambda final: spec_holds(final, bound),
         ground_truth=ground_truth,
+        jobs=jobs,
     )

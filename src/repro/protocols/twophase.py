@@ -21,7 +21,7 @@ finalizations — established with four IS applications (Table 1: #IS = 4).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from ..core.action import Action, PendingAsync, Transition
 from ..core.mapping import FrozenDict
@@ -467,7 +467,9 @@ def spec_holds(final_global: Store, n: int) -> bool:
     return True
 
 
-def verify(n: int = 3, ground_truth: bool = True) -> ProtocolReport:
+def verify(
+    n: int = 3, ground_truth: bool = True, jobs: Optional[int] = None
+) -> ProtocolReport:
     """Full pipeline for two-phase commit."""
     applications = make_sequentializations(n)
     return verify_protocol(
@@ -478,4 +480,5 @@ def verify(n: int = 3, ground_truth: bool = True) -> ProtocolReport:
         initial_global(n),
         lambda final: spec_holds(final, n),
         ground_truth=ground_truth,
+        jobs=jobs,
     )

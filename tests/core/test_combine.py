@@ -1,0 +1,36 @@
+"""Regression tests for the single ``combine`` definition.
+
+``combine`` (the paper's g·l store combination) used to be defined twice —
+once in ``store`` and once, divergently copy-paste-able, in ``movers``.
+There is now one authoritative, memoized definition in ``repro.core.store``
+that ``repro.core.movers`` imports; these tests pin that down and fix the
+shadowing semantics on overlapping keys.
+"""
+
+from __future__ import annotations
+
+from repro.core import movers, store
+from repro.core.store import Store
+
+
+def test_movers_reexports_the_store_definition():
+    assert movers.combine is store.combine
+
+
+def test_local_shadows_global_on_overlapping_keys():
+    g = Store({"shared": 1, "g_only": 10})
+    l = Store({"shared": 2, "l_only": 20})
+    combined = store.combine(g, l)
+    assert combined["shared"] == 2  # local wins
+    assert combined["g_only"] == 10
+    assert combined["l_only"] == 20
+    # Both import sites agree on the (memoized) result.
+    assert movers.combine(g, l) == combined
+
+
+def test_combine_memoization_is_observation_free():
+    g = Store({"a": 1})
+    l = Store({"b": 2})
+    first = store.combine(g, l)
+    assert store.combine(g, l) == first
+    assert store.combine(g, l) == g.merge(l)

@@ -109,4 +109,10 @@ class TestContexts:
         context = InstanceContext(lambda name: (name, ()))
         universe = StoreUniverse([Store()], context=context)
         assert not universe.pair_ok(Store(), "A", Store(), "A", Store())
-        assert ("A", Store(), "A", Store()) in universe._pair_cache
+        # Memoized under the context's cache_key prefix (the constant ()
+        # for state-independent contexts).
+        key = (context.cache_key(Store()), "A", Store(), "A", Store())
+        assert key in universe._pair_cache
+        assert universe.context_cache_stats.misses == 1
+        assert not universe.pair_ok(Store(), "A", Store(), "A", Store())
+        assert universe.context_cache_stats.hits == 1
