@@ -2,11 +2,12 @@
 
 Commands
 --------
-``table1 [--jobs N] [--stats]``
+``table1 [--jobs N] [--stats] [--fail-fast]``
     Regenerate the Table 1 analogue (runs all seven verifications).
     ``--jobs`` discharges the IS obligations over N worker processes;
-    ``--stats`` adds per-obligation wall-time / enumeration statistics.
-``verify <protocol> [--jobs N]``
+    ``--stats`` adds per-obligation wall-time / enumeration statistics;
+    ``--fail-fast`` skips obligations downstream of a failure.
+``verify <protocol> [--jobs N] [--fail-fast]``
     Run one protocol's pipeline at its default instance parameters and
     print the report. Protocols: broadcast, pingpong, prodcons, nbuyer,
     changroberts, twophase, paxos.
@@ -23,7 +24,7 @@ import sys
 def _cmd_table1(args) -> int:
     from .analysis import build_table1, render_obligation_stats, render_table1
 
-    rows = build_table1(jobs=args.jobs)
+    rows = build_table1(jobs=args.jobs, fail_fast=args.fail_fast)
     print(render_table1(rows))
     if args.stats:
         print()
@@ -39,7 +40,7 @@ def _cmd_verify(args) -> int:
         print(f"unknown protocol {args.protocol!r}; try: "
               f"{', '.join(sorted(ALL_PROTOCOLS))}", file=sys.stderr)
         return 2
-    report = module.verify(jobs=args.jobs)
+    report = module.verify(jobs=args.jobs, fail_fast=args.fail_fast)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -76,6 +77,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="also print per-obligation wall-time / enumeration statistics",
     )
+    table1.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="skip obligations (transitively) downstream of a failed one",
+    )
     verify = sub.add_parser("verify", help="verify one protocol")
     verify.add_argument("protocol")
     verify.add_argument(
@@ -84,6 +90,11 @@ def main(argv=None) -> int:
         type=int,
         default=None,
         help="worker processes for obligation discharge (default: serial)",
+    )
+    verify.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="skip obligations (transitively) downstream of a failed one",
     )
     sub.add_parser("list", help="list protocols")
     args = parser.parse_args(argv)

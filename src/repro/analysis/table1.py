@@ -65,7 +65,9 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Broadcast consensus",
         broadcast,
-        lambda jobs=None: broadcast.verify(n=3, iterated=True, jobs=jobs),
+        lambda jobs=None, fail_fast=False: broadcast.verify(
+            n=3, iterated=True, jobs=jobs, fail_fast=fail_fast
+        ),
         (
             broadcast.make_invariant,
             broadcast.make_broadcast_invariant,
@@ -80,7 +82,9 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Ping-Pong",
         pingpong,
-        lambda jobs=None: pingpong.verify(rounds=3, jobs=jobs),
+        lambda jobs=None, fail_fast=False: pingpong.verify(
+            rounds=3, jobs=jobs, fail_fast=fail_fast
+        ),
         (
             pingpong.make_abstractions,
             pingpong.make_measure,
@@ -92,7 +96,9 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Producer-Consumer",
         prodcons,
-        lambda jobs=None: prodcons.verify(bound=4, jobs=jobs),
+        lambda jobs=None, fail_fast=False: prodcons.verify(
+            bound=4, jobs=jobs, fail_fast=fail_fast
+        ),
         (
             prodcons.make_consumer_abs,
             prodcons.make_measure,
@@ -104,14 +110,18 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "N-Buyer",
         nbuyer,
-        lambda jobs=None: nbuyer.verify(n=3, jobs=jobs),
+        lambda jobs=None, fail_fast=False: nbuyer.verify(
+            n=3, jobs=jobs, fail_fast=fail_fast
+        ),
         (nbuyer.make_measure, nbuyer.make_sequentializations),
         (nbuyer.make_atomic, nbuyer.initial_global),
     ),
     _Entry(
         "Chang-Roberts",
         changroberts,
-        lambda jobs=None: changroberts.verify(n=4, jobs=jobs),
+        lambda jobs=None, fail_fast=False: changroberts.verify(
+            n=4, jobs=jobs, fail_fast=fail_fast
+        ),
         (
             changroberts.make_handle_abs,
             changroberts.upstream_threat,
@@ -125,14 +135,18 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Two-phase commit",
         twophase,
-        lambda jobs=None: twophase.verify(n=3, jobs=jobs),
+        lambda jobs=None, fail_fast=False: twophase.verify(
+            n=3, jobs=jobs, fail_fast=fail_fast
+        ),
         (twophase.make_measure, twophase.make_sequentializations),
         (twophase.make_atomic, twophase.initial_global),
     ),
     _Entry(
         "Paxos",
         paxos,
-        lambda jobs=None: paxos.verify(rounds=2, num_nodes=2, jobs=jobs),
+        lambda jobs=None, fail_fast=False: paxos.verify(
+            rounds=2, num_nodes=2, jobs=jobs, fail_fast=fail_fast
+        ),
         (
             paxos.make_abstractions,
             paxos.make_measure,
@@ -145,16 +159,21 @@ TABLE1_REGISTRY: List[_Entry] = [
 
 
 def build_table1(
-    entries: Sequence[_Entry] = None, jobs: Optional[int] = None
+    entries: Sequence[_Entry] = None,
+    jobs: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> List[Table1Row]:
     """Run every example's full pipeline and assemble the table.
 
     ``jobs`` selects the obligation-discharge backend for the IS checks
     (see ``repro.engine.scheduler``); verdicts are backend-independent.
+    ``fail_fast`` skips obligations (transitively) downstream of a failed
+    one — rows of a healthy suite are unaffected, broken rows finish
+    sooner with explicit ``skipped`` counterexamples.
     """
     rows: List[Table1Row] = []
     for entry in entries if entries is not None else TABLE1_REGISTRY:
-        report = entry.verify(jobs=jobs)
+        report = entry.verify(jobs=jobs, fail_fast=fail_fast)
         rows.append(
             Table1Row(
                 example=entry.name,

@@ -22,17 +22,28 @@ class Multiset:
     """An immutable multiset over hashable elements.
 
     Supports the operations used by the formal development: union
-    (``+`` / :meth:`union`, written :math:`\\uplus` in the paper), element
-    removal (``-`` / :meth:`remove`), containment, counting, and iteration
+    (``+`` / :meth:`union`, written :math:`\\uplus` in the paper), strict
+    element removal (:meth:`remove`), truncated difference
+    (``-`` / :meth:`difference`), containment, counting, and iteration
     with multiplicity.
+
+    The ``-`` operator takes a :class:`Multiset` right-hand side *only*
+    and always means :meth:`difference`. Removing a single element is
+    spelled :meth:`remove` — never ``-`` — so a multiset whose *elements*
+    are themselves multisets cannot be silently misinterpreted (an earlier
+    version dispatched ``m - x`` on ``isinstance(x, Multiset)``, which
+    turned element removal of a multiset-valued element into a truncated
+    difference over its contents).
 
     >>> m = Multiset(["a", "b", "a"])
     >>> m.count("a")
     2
     >>> sorted(m)
     ['a', 'a', 'b']
-    >>> (m - "a").count("a")
+    >>> m.remove("a").count("a")
     1
+    >>> (m - Multiset(["a", "a", "a"])).count("a")
+    0
     """
 
     __slots__ = ("_counts", "_hash", "_size")
@@ -132,10 +143,10 @@ class Multiset:
             return NotImplemented
         return self.union(other)
 
-    def __sub__(self, element: Hashable) -> "Multiset":
-        if isinstance(element, Multiset):
-            return self.difference(element)
-        return self.remove(element)
+    def __sub__(self, other: "Multiset") -> "Multiset":
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self.difference(other)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Multiset):

@@ -121,8 +121,12 @@ class ISResult:
 
     ``timings`` and ``obligation_checked`` carry per-obligation wall-clock
     and enumeration counts when the result was produced by the obligation
-    engine (``repro.engine.obligations``); both are bookkeeping only and
-    excluded from equality, which compares the condition map alone.
+    engine (``repro.engine.obligations``); ``worker_cache_stats`` carries,
+    per discharging PID, the worker's final evaluation-cache snapshot and
+    obligation count (the serial backend contributes a single entry);
+    ``warmup_seconds`` is the parent's cache warm-up time when a pool
+    backend pre-warmed. All are bookkeeping only and excluded from
+    equality, which compares the condition map alone.
     """
 
     conditions: Dict[str, CheckResult] = field(default_factory=dict)
@@ -132,6 +136,10 @@ class ISResult:
     obligation_checked: Dict[str, int] = field(
         default_factory=dict, compare=False, repr=False
     )
+    worker_cache_stats: Dict[int, dict] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    warmup_seconds: float = field(default=0.0, compare=False, repr=False)
 
     @property
     def holds(self) -> bool:
@@ -175,6 +183,19 @@ class ISResult:
             f"{self.num_obligations} obligations, {self.total_checked} checks, "
             f"{total:.2f}s total obligation time"
         )
+        if self.warmup_seconds:
+            header += f" (+{self.warmup_seconds * 1000:.0f} ms cache warm-up)"
+        for pid, entry in sorted(self.worker_cache_stats.items()):
+            stats = entry.get("stats", {})
+            rates = ", ".join(
+                f"{kind} {100 * stats[kind].get('hit_rate', 0.0):.1f}% hit"
+                for kind in ("gate", "transitions")
+                if kind in stats
+            )
+            lines.append(
+                f"  worker {pid}: {entry.get('obligations', 0)} obligations"
+                + (f", {rates}" if rates else "")
+            )
         return header + "\n" + "\n".join(lines)
 
     def __bool__(self) -> bool:
@@ -253,6 +274,81 @@ class ISApplication:
         the action itself when shared caching is disabled."""
         cache = active_cache()
         return cache.cached(action) if cache is not None else action
+
+    # ------------------------------------------------------------------ #
+    # Cache warm-up
+    # ------------------------------------------------------------------ #
+
+    def _warm_views(self, universe: StoreUniverse):
+        """The (memoized action view, candidate locals) pairs every
+        obligation family re-enumerates: all program actions (the LM
+        right-hand sides), the invariant (enumerated by I1, I2 and I3
+        alike), and the abstractions (I3's composition step, the LM
+        left-hand sides, CO)."""
+        pairs = []
+        for name, action in self.program.actions():
+            pairs.append((self._view(action), universe.locals_for(name)))
+        invariant_locals = list(
+            dict.fromkeys(
+                [
+                    *universe.locals_for(self.m_name),
+                    *universe.locals_for(self.invariant.name),
+                ]
+            )
+        )
+        pairs.append((self._view(self.invariant), invariant_locals))
+        for name in self.eliminated:
+            # Unabstracted actions of E are program actions, warmed above.
+            if name in self.abstractions:
+                pairs.append(
+                    (self._view(self.abstractions[name]), universe.locals_for(name))
+                )
+        return pairs
+
+    def warm_evaluation_cache(
+        self, universe: StoreUniverse, successors: bool = True
+    ) -> int:
+        """Pre-populate the process evaluation cache with the gate and
+        transition memos the IS obligations share.
+
+        Evaluates every relevant action (program actions, invariant,
+        abstractions) over the universe grid — and, when ``successors`` is
+        true, over the global stores reachable in one transition from the
+        grid, which is where the mover checks evaluate gates and
+        transitions after a commuted step. Returns the number of stores
+        evaluated. A no-op (returning 0) while caching is disabled.
+
+        Sound by purity: a memo entry is a function of the store alone, so
+        warm entries are indistinguishable from recomputed ones. The
+        process-pool scheduler runs this in the parent before forking so
+        every worker inherits the warm memos copy-on-write (see
+        ``repro.core.cache``).
+        """
+        if active_cache() is None:
+            return 0
+        pairs = self._warm_views(universe)
+        evaluated = 0
+        successor_globals: set = set()
+        known = set(universe.globals_)
+        for view, locals_pool in pairs:
+            for g in universe.globals_:
+                for l in locals_pool:
+                    state = combine(g, l)
+                    evaluated += 1
+                    if view.gate(state):
+                        for tr in view.transitions(state):
+                            if tr.new_global not in known:
+                                successor_globals.add(tr.new_global)
+        if successors and successor_globals:
+            frontier = sorted(successor_globals, key=repr)
+            for view, locals_pool in pairs:
+                for g in frontier:
+                    for l in locals_pool:
+                        state = combine(g, l)
+                        evaluated += 1
+                        if view.gate(state):
+                            view.transitions(state)
+        return evaluated
 
     # ------------------------------------------------------------------ #
     # Condition checks

@@ -5,9 +5,21 @@ executable transformation producing certified sequentialized executions.
 ``repro.engine.obligations`` + ``repro.engine.scheduler`` decompose the IS
 condition checks into a DAG of obligations discharged serially or across a
 process pool (the backend behind ``ISApplication.check`` and ``--jobs``).
+The pool backend pre-warms the evaluation cache in the parent so forked
+workers inherit the shared memos copy-on-write, and shards the dominant
+obligations (I3 slices, LM pair conditions) off the universe size so the
+pool has enough units to saturate its workers.
 """
 
-from .obligations import Obligation, build_obligations, discharge, execute_obligation
+from .obligations import (
+    Obligation,
+    build_obligations,
+    discharge,
+    execute_obligation,
+    lm_slice_count,
+    merge_outcomes,
+    shard_count,
+)
 from .rewriting import RewriteError, RewriteResult, RewriteStats, rewrite_execution
 from .scheduler import (
     ObligationOutcome,
@@ -24,7 +36,10 @@ __all__ = [
     "Obligation",
     "build_obligations",
     "execute_obligation",
+    "merge_outcomes",
     "discharge",
+    "shard_count",
+    "lm_slice_count",
     "ObligationOutcome",
     "SerialScheduler",
     "ProcessPoolScheduler",

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
+from ..core.movers import LM_CONDITION_ORDER, left_mover_condition
 from ..core.refinement import CheckResult
 from ..core.sequentialize import ISApplication, ISResult
 from ..core.universe import StoreUniverse
@@ -43,10 +44,63 @@ __all__ = [
     "execute_obligation",
     "merge_outcomes",
     "discharge",
+    "shard_count",
+    "lm_slice_count",
 ]
 
 #: Per-obligation counterexample cap, matching ``refinement._fail``.
 _KEEP = 5
+
+
+def _slices(num_items: int, shards: int) -> List[Tuple[int, int]]:
+    """``shards`` contiguous ``(lo, hi)`` index slices covering
+    ``range(num_items)``, remainder spread over the leading shards so
+    sizes differ by at most one."""
+    shards = max(1, min(int(shards), max(1, num_items)))
+    base, extra = divmod(num_items, shards)
+    bounds = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def shard_count(
+    num_items: int, parallelism: int, factor: int = 2, min_chunk: int = 16
+) -> int:
+    """How many contiguous shards to split an enumeration of ``num_items``
+    stores into: enough sub-obligations to keep ``parallelism`` workers
+    busy (``factor`` shards per worker), but never shards smaller than
+    ``min_chunk`` items — tiny shards pay scheduling overhead without
+    adding parallelism. Sized off the universe, not a fixed constant, so
+    large instances shard finer than small ones."""
+    if parallelism <= 1 or num_items <= 1:
+        return 1
+    largest_useful = max(1, num_items // min_chunk)
+    return max(1, min(factor * parallelism, largest_useful, num_items))
+
+
+def lm_slice_count(
+    num_pairs: int, num_globals: int, parallelism: int, factor: int = 2
+) -> int:
+    """Globals slices per (LM pair, condition) sub-obligation.
+
+    Splitting every LM cell into its four conditions already multiplies
+    the schedulable units by four; slices are only added when that still
+    leaves fewer than ``factor * parallelism`` units (small programs, big
+    pools). Returns 0 when the pool has no parallelism — the legacy
+    whole-pair obligations are cheaper to schedule serially.
+    """
+    if parallelism <= 1 or num_pairs == 0:
+        return 0
+    units = num_pairs * len(LM_CONDITION_ORDER)
+    target = factor * parallelism
+    if units >= target:
+        return 1
+    want = -(-target // units)  # ceil
+    return max(1, min(want, num_globals or 1))
 
 
 @dataclass(frozen=True)
@@ -76,6 +130,7 @@ def build_obligations(
     universe: StoreUniverse,
     lm_skip: Iterable[str] = (),
     i3_shards: int = 1,
+    lm_shards: int = 0,
 ) -> List[Obligation]:
     """The obligation DAG for one IS application, in deterministic order.
 
@@ -85,8 +140,14 @@ def build_obligations(
 
     ``i3_shards`` splits I3's outer quantifier (the universe's globals)
     into that many contiguous slices; the full condition is the in-order
-    concatenation of the shard results. Sharding changes only scheduling
-    granularity, never the merged condition map.
+    concatenation of the shard results. ``lm_shards`` likewise splits each
+    LM pair cell: ``0`` keeps the legacy one-obligation-per-pair layout,
+    and ``k >= 1`` replaces every pair with its four left-mover conditions
+    (:data:`~repro.core.movers.LM_CONDITION_ORDER`), each sliced into
+    ``k`` contiguous globals ranges — the granularity the process pool
+    needs to saturate its workers, since LM pairs dominate wall time.
+    Sharding changes only scheduling granularity, never the merged
+    condition map.
     """
     obligations: List[Obligation] = []
     abs_keys: List[str] = []
@@ -103,8 +164,8 @@ def build_obligations(
     obligations.append(Obligation(key="I2", kind="I2", condition="I2"))
 
     num_globals = len(universe.globals_)
-    shards = max(1, min(int(i3_shards), max(1, num_globals)))
-    if shards == 1:
+    i3_bounds = _slices(num_globals, i3_shards)
+    if len(i3_bounds) == 1:
         obligations.append(
             Obligation(
                 key="I3",
@@ -115,12 +176,7 @@ def build_obligations(
             )
         )
     else:
-        # Contiguous slices; remainder spread over the leading shards so
-        # sizes differ by at most one.
-        base, extra = divmod(num_globals, shards)
-        lo = 0
-        for i in range(shards):
-            hi = lo + base + (1 if i < extra else 0)
+        for i, (lo, hi) in enumerate(i3_bounds):
             obligations.append(
                 Obligation(
                     key=f"I3#{i}",
@@ -130,22 +186,37 @@ def build_obligations(
                     deps=all_abs,
                 )
             )
-            lo = hi
 
     skipped = set(lm_skip)
     lm_targets = [x for x in app.program.action_names() if x not in skipped]
+    lm_bounds = _slices(num_globals, lm_shards) if lm_shards >= 1 else None
     for name in app.eliminated:
         dep = (f"abs[{name}]",) if name in app.abstractions else ()
         for other in lm_targets:
-            obligations.append(
-                Obligation(
-                    key=f"LM[{name}|{other}]",
-                    kind="LM",
-                    condition=f"LM[{name}]",
-                    params=(name, other),
-                    deps=dep,
+            if lm_bounds is None:
+                obligations.append(
+                    Obligation(
+                        key=f"LM[{name}|{other}]",
+                        kind="LM",
+                        condition=f"LM[{name}]",
+                        params=(name, other),
+                        deps=dep,
+                    )
                 )
-            )
+            else:
+                # Condition-major, slice-minor: merging in build order
+                # then reproduces is_left_mover's concatenation order.
+                for cond in LM_CONDITION_ORDER:
+                    for i, (lo, hi) in enumerate(lm_bounds):
+                        obligations.append(
+                            Obligation(
+                                key=f"LM[{name}|{other}|{cond}#{i}]",
+                                kind="LMc",
+                                condition=f"LM[{name}]",
+                                params=(name, other, cond, lo, hi),
+                                deps=dep,
+                            )
+                        )
         obligations.append(
             Obligation(
                 key=f"CO[{name}]",
@@ -185,25 +256,45 @@ def execute_obligation(
         return app.check_i3(universe, globals_subset=universe.globals_[lo:hi])
     if kind == "LM":
         name, other = obligation.params
-        uni2 = None
-        if lm_universes is not None:
-            uni2 = lm_universes.get(name)
-            if uni2 is None:
-                uni2 = app.lm_universe(universe, name)
-                lm_universes[name] = uni2
+        uni2 = _lm_universe_for(app, universe, name, lm_universes)
         return app.check_lm_pair(universe, name, other, universe_for_abs=uni2)
+    if kind == "LMc":
+        from ..core.action import Action
+
+        name, other, cond, lo, hi = obligation.params
+        uni2 = _lm_universe_for(app, universe, name, lm_universes)
+        if uni2 is None:
+            uni2 = app.lm_universe(universe, name)
+        abstraction = app.abstraction_of(name)
+        return left_mover_condition(
+            Action(name, abstraction.gate, abstraction.transitions, abstraction.params),
+            app.program[other],
+            uni2,
+            cond,
+            globals_subset=uni2.globals_[lo:hi],
+        )
     if kind == "CO":
         (name,) = obligation.params
         return app.check_co(universe, names=[name])
     raise ValueError(f"unknown obligation kind {kind!r}")
 
 
-def _skipped_result(name: str, failed_deps: Iterable[str]) -> CheckResult:
+def _lm_universe_for(app, universe, name, lm_universes):
+    """The per-run memo of LM-extended universes (see
+    :func:`execute_obligation`); ``None`` when no memo was supplied."""
+    if lm_universes is None:
+        return None
+    uni2 = lm_universes.get(name)
+    if uni2 is None:
+        uni2 = app.lm_universe(universe, name)
+        lm_universes[name] = uni2
+    return uni2
+
+
+def _skipped_result(name: str, reasons: Iterable[str]) -> CheckResult:
     result = CheckResult(name, False)
-    for dep in failed_deps:
-        result.counterexamples.append(
-            (f"skipped: dependency {dep} failed", None)
-        )
+    for reason in reasons:
+        result.counterexamples.append((f"skipped: {reason}", None))
     return result
 
 
@@ -227,11 +318,19 @@ def merge_outcomes(
       ``is_left_mover_wrt_program``: checks summed over program actions in
       program order, counterexamples prefixed ``wrt {action}:`` (no cap,
       matching the inline merge).
+    * ``LMc`` shards (condition-level slices of an LM cell — see
+      ``build_obligations``) reproduce ``is_left_mover`` before folding:
+      within one (pair, condition), slice counterexamples concatenate in
+      slice order and cap at five (each slice keeps its *first* five, so
+      the prefix equals the unsliced enumeration's), carry the condition
+      result's name as prefix exactly like ``_combine_conditions``, and
+      then fold with the same ``wrt {action}:`` prefix as whole cells.
     * ``CO`` per-action results concatenate into the single cooperation
       condition, truncated to five like I3.
     """
     merged = ISResult()
     conditions = merged.conditions
+    lm_cond_kept: Dict[Tuple[str, str, str], int] = {}
     for ob in obligations:
         sub = results.get(ob.key)
         if sub is None:
@@ -261,6 +360,29 @@ def merge_outcomes(
                 acc.counterexamples.extend(
                     (f"wrt {other}: {d}", w) for d, w in sub.counterexamples
                 )
+        elif ob.kind == "LMc":
+            name, other, cond = ob.params[:3]
+            acc = conditions.get(ob.condition)
+            if acc is None:
+                acc = CheckResult(f"LM: α({name}) left mover wrt P", True)
+                conditions[ob.condition] = acc
+            acc.checked += sub.checked
+            if not sub.holds:
+                acc.holds = False
+                cell = (name, other, cond)
+                kept = lm_cond_kept.get(cell, 0)
+                for d, w in sub.counterexamples:
+                    if d.startswith("skipped:"):
+                        # Fail-fast skips carry no condition-result name.
+                        acc.counterexamples.append((f"wrt {other}: {d}", w))
+                        continue
+                    if kept >= _KEEP:
+                        break
+                    kept += 1
+                    acc.counterexamples.append(
+                        (f"wrt {other}: {sub.name}: {d}", w)
+                    )
+                lm_cond_kept[cell] = kept
         elif ob.kind == "CO":
             acc = conditions.get(ob.condition)
             if acc is None:
@@ -290,16 +412,30 @@ def discharge(
 
     ``jobs`` selects the backend (``None``/``0``/``1``: serial; ``>1``:
     fork-based process pool, falling back to serial where ``fork`` is
-    unavailable); an explicit ``scheduler`` instance overrides it. I3 is
-    sharded to match the worker count so its outer quantifier — typically
-    the bulkiest single obligation — spreads across the pool.
+    unavailable); an explicit ``scheduler`` instance overrides it. For a
+    pool backend the dominant obligations are sharded off the universe
+    size: I3's outer quantifier into :func:`shard_count` contiguous
+    slices, and every LM pair cell into its four conditions times
+    :func:`lm_slice_count` globals slices — enough sub-obligations to
+    saturate the workers. The serial backend keeps the coarse layout
+    (sharding buys it nothing and costs bookkeeping).
     """
     from .scheduler import make_scheduler
 
     if scheduler is None:
         scheduler = make_scheduler(jobs)
+    parallelism = scheduler.parallelism
+    num_globals = len(universe.globals_)
+    lm_targets = [
+        x for x in app.program.action_names() if x not in set(lm_skip)
+    ]
+    num_pairs = len(app.eliminated) * len(lm_targets)
     obligations = build_obligations(
-        app, universe, lm_skip=lm_skip, i3_shards=scheduler.parallelism
+        app,
+        universe,
+        lm_skip=lm_skip,
+        i3_shards=shard_count(num_globals, parallelism),
+        lm_shards=lm_slice_count(num_pairs, num_globals, parallelism),
     )
     outcomes = scheduler.run(app, universe, obligations, fail_fast=fail_fast)
     results: Dict[str, CheckResult] = {}
@@ -311,18 +447,42 @@ def discharge(
             results[key] = outcome.result
         else:
             ob = by_key[key]
-            failed = [
-                d
-                for d in ob.deps
-                if (o := outcomes.get(d)) is not None
-                and o.result is not None
-                and not o.result.holds
-            ]
+            reasons = []
+            for d in ob.deps:
+                dep_outcome = outcomes.get(d)
+                if dep_outcome is None:
+                    continue
+                if dep_outcome.result is None:
+                    reasons.append(f"dependency {d} skipped")
+                elif not dep_outcome.result.holds:
+                    reasons.append(f"dependency {d} failed")
             name = {
                 "I3": "I3: inductive step",
                 "CO": "CO: cooperation",
             }.get(ob.kind, ob.key)
-            if ob.kind == "LM":
+            if ob.kind in ("LM", "LMc"):
                 name = f"α({ob.params[0]}) vs {ob.params[1]}"
-            results[key] = _skipped_result(name, failed or ob.deps)
-    return merge_outcomes(app, obligations, results, timings=timings)
+            results[key] = _skipped_result(
+                name, reasons or [f"dependency {d} failed" for d in ob.deps]
+            )
+    merged = merge_outcomes(app, obligations, results, timings=timings)
+    merged.warmup_seconds = getattr(scheduler, "last_warmup_seconds", 0.0)
+    workers: Dict[int, dict] = {}
+    for outcome in outcomes.values():
+        if outcome.cache_stats is None:
+            continue
+        entry = workers.setdefault(
+            outcome.pid, {"obligations": 0, "stats": outcome.cache_stats}
+        )
+        entry["obligations"] += 1
+        # Snapshots are cumulative per process; keep the furthest one.
+        if _snapshot_total(outcome.cache_stats) > _snapshot_total(entry["stats"]):
+            entry["stats"] = outcome.cache_stats
+    merged.worker_cache_stats = workers
+    return merged
+
+
+def _snapshot_total(snapshot: Mapping[str, Mapping[str, float]]) -> float:
+    return sum(
+        kind.get("hits", 0) + kind.get("misses", 0) for kind in snapshot.values()
+    )

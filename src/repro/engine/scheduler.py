@@ -14,14 +14,23 @@ are closures and therefore not picklable, so the work *payload* (the
 application and universe) travels to workers by fork inheritance through a
 module global set just before the pool spins up; only obligation **keys**
 go down the pipe and only ``CheckResult`` values (plain data over stores,
-transitions, and multisets — all picklable) come back. Each worker's
-evaluation caches are rebuilt per process (``repro.core.cache`` keys its
-singleton by PID), never shared or shipped.
+transitions, and multisets — all picklable) come back.
+
+Before forking, the pool backend runs a **cache warm-up pass** in the
+parent (:meth:`~repro.core.sequentialize.ISApplication.warm_evaluation_cache`)
+and marks the parent's evaluation cache inheritable, so every forked
+worker starts from the shared gate/transition memos through copy-on-write
+instead of re-deriving them from scratch — the reason a pool run used to
+*lose* to the memoized serial run. Worker counts are clamped to the host's
+CPU count (with a warning): extra workers on a saturated host only add
+fork and pickling overhead.
 
 Fail-fast mode discharges the DAG in dependency waves and skips — marks
-with ``result=None`` — obligations whose dependencies failed. Which
-obligations are skipped depends only on the DAG and the recorded verdicts,
-not on timing, so fail-fast runs are deterministic across backends too.
+with ``result=None`` — obligations whose dependencies failed *or were
+themselves skipped*, so skipping propagates transitively down the DAG.
+Which obligations are skipped depends only on the DAG and the recorded
+verdicts, not on timing, so fail-fast runs are deterministic across
+backends too.
 """
 
 from __future__ import annotations
@@ -29,8 +38,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.refinement import CheckResult
 from ..core.sequentialize import ISApplication
@@ -49,10 +59,11 @@ class ObligationOutcome:
     """What the scheduler recorded for one obligation.
 
     ``result`` is ``None`` when a fail-fast run skipped the obligation
-    because a dependency failed. ``cache_stats`` is the discharging
-    process's cumulative evaluation-cache snapshot (hits/misses by kind)
-    taken right after the obligation ran — benchmarks aggregate the last
-    snapshot per ``pid``.
+    because a dependency failed or was itself skipped. ``cache_stats`` is
+    the discharging process's cumulative evaluation-cache snapshot
+    (hits/misses by kind) taken right after the obligation ran — both
+    backends record it; benchmarks aggregate the last snapshot per
+    ``pid``.
     """
 
     key: str
@@ -62,8 +73,16 @@ class ObligationOutcome:
     cache_stats: Optional[dict] = None
 
 
-def _failed_deps(obligation, verdicts: Dict[str, bool]) -> List[str]:
-    return [d for d in obligation.deps if verdicts.get(d) is False]
+def _blocked_deps(
+    obligation, verdicts: Dict[str, bool], skipped: Set[str]
+) -> List[str]:
+    """Dependencies that make a fail-fast run skip ``obligation``: deps
+    that failed, plus deps that were themselves skipped (transitivity)."""
+    return [
+        d
+        for d in obligation.deps
+        if verdicts.get(d) is False or d in skipped
+    ]
 
 
 def _waves(obligations) -> List[List]:
@@ -87,6 +106,7 @@ class SerialScheduler:
     """Discharge every obligation in this process, in build order."""
 
     parallelism = 1
+    last_warmup_seconds = 0.0
 
     def run(
         self,
@@ -95,21 +115,30 @@ class SerialScheduler:
         obligations: Sequence,
         fail_fast: bool = False,
     ) -> Dict[str, ObligationOutcome]:
+        from ..core.cache import process_cache
         from .obligations import execute_obligation
 
         pid = os.getpid()
         outcomes: Dict[str, ObligationOutcome] = {}
         verdicts: Dict[str, bool] = {}
+        skipped: Set[str] = set()
         lm_universes: Dict[str, StoreUniverse] = {}
         for ob in obligations:
-            if fail_fast and _failed_deps(ob, verdicts):
+            if fail_fast and _blocked_deps(ob, verdicts, skipped):
+                skipped.add(ob.key)
                 outcomes[ob.key] = ObligationOutcome(ob.key, None, 0.0, pid)
                 continue
             started = time.perf_counter()
             result = execute_obligation(app, universe, ob, lm_universes)
             elapsed = time.perf_counter() - started
             verdicts[ob.key] = result.holds
-            outcomes[ob.key] = ObligationOutcome(ob.key, result, elapsed, pid)
+            outcomes[ob.key] = ObligationOutcome(
+                ob.key,
+                result,
+                elapsed,
+                pid,
+                cache_stats=process_cache().as_dict(),
+            )
         return outcomes
 
     def __repr__(self) -> str:
@@ -143,15 +172,40 @@ def _worker_run(key: str):
 class ProcessPoolScheduler:
     """Discharge obligations across ``jobs`` forked worker processes.
 
+    ``jobs`` beyond the host's CPU count buys nothing (the workers are
+    CPU-bound), so the effective worker count is clamped to
+    ``os.cpu_count()`` with a warning — pass ``clamp=False`` to force the
+    requested count (tests use this to exercise sharding on small hosts).
+    ``warm=False`` skips the parent's cache warm-up pass.
+
     Falls back to serial execution when the platform lacks the ``fork``
-    start method (the payload cannot be pickled for ``spawn``). In
+    start method (the payload cannot be pickled for ``spawn``) and when
+    the effective worker count is one (a single-worker pool is pure
+    overhead — on a one-core host a clamped ``--jobs`` therefore costs
+    the same as a serial run). In
     fail-fast mode the DAG is processed in dependency waves: a wave's
     futures all resolve before dependents are (not) submitted, so skipping
-    decisions are wave-synchronous and deterministic.
+    decisions are wave-synchronous, deterministic, and — like the serial
+    backend's — transitive through skipped dependencies.
     """
 
-    def __init__(self, jobs: int):
-        self.jobs = max(2, int(jobs))
+    def __init__(self, jobs: int, warm: bool = True, clamp: bool = True):
+        self.requested_jobs = int(jobs)
+        effective = max(1, self.requested_jobs)
+        cpus = os.cpu_count() or 1
+        if clamp and effective > cpus:
+            warnings.warn(
+                f"jobs={self.requested_jobs} exceeds the {cpus} available "
+                f"CPU(s); clamping the worker pool to {cpus} (extra "
+                f"CPU-bound workers only add fork overhead)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            effective = cpus
+        self.jobs = effective
+        self.warm = warm
+        self.last_warmup_seconds = 0.0
+        self.last_warmed_evaluations = 0
 
     @property
     def parallelism(self) -> int:
@@ -164,16 +218,30 @@ class ProcessPoolScheduler:
         obligations: Sequence,
         fail_fast: bool = False,
     ) -> Dict[str, ObligationOutcome]:
-        if not _fork_available():
+        if not _fork_available() or self.jobs <= 1:
+            # One effective worker (e.g. --jobs clamped on a one-core
+            # host): a pool would only add fork and pickling overhead, so
+            # degrade to the serial backend — same outcomes, serial cost.
             return SerialScheduler().run(
                 app, universe, obligations, fail_fast=fail_fast
             )
         from concurrent.futures import ProcessPoolExecutor
 
+        from ..core.cache import active_cache, process_cache
+
+        self.last_warmup_seconds = 0.0
+        self.last_warmed_evaluations = 0
+        if self.warm and active_cache() is not None:
+            started = time.perf_counter()
+            self.last_warmed_evaluations = app.warm_evaluation_cache(universe)
+            process_cache().mark_inheritable()
+            self.last_warmup_seconds = time.perf_counter() - started
+
         global _WORKER_PAYLOAD
         by_key = {ob.key: ob for ob in obligations}
         outcomes: Dict[str, ObligationOutcome] = {}
         verdicts: Dict[str, bool] = {}
+        skipped: Set[str] = set()
         _WORKER_PAYLOAD = (app, universe, by_key)
         try:
             context = multiprocessing.get_context("fork")
@@ -183,7 +251,8 @@ class ProcessPoolScheduler:
                 for wave in _waves(obligations):
                     futures = []
                     for ob in wave:
-                        if fail_fast and _failed_deps(ob, verdicts):
+                        if fail_fast and _blocked_deps(ob, verdicts, skipped):
+                            skipped.add(ob.key)
                             outcomes[ob.key] = ObligationOutcome(
                                 ob.key, None, 0.0, os.getpid()
                             )

@@ -474,6 +474,7 @@ def verify(
     iterated: bool = True,
     ground_truth: bool = True,
     jobs: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> ProtocolReport:
     """Full pipeline: IS condition checks, sequential spec on the
     transformed program, and (optionally) the ground-truth refinement
@@ -496,7 +497,7 @@ def verify(
     for label, application in zip(labels, applications):
         with timed(report, f"IS[{label}]"):
             universe = make_universe(application.program, n, values)
-            result = application.check(universe, jobs=jobs)
+            result = application.check(universe, jobs=jobs, fail_fast=fail_fast)
         report.is_results.append((label, result))
         final_program = application.apply_and_drop()
 

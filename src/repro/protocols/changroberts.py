@@ -373,6 +373,7 @@ def verify(
     ids: Optional[Sequence[int]] = None,
     ground_truth: bool = True,
     jobs: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> ProtocolReport:
     """Full pipeline for Chang-Roberts."""
     applications = make_sequentializations(n)
@@ -385,4 +386,5 @@ def verify(
         lambda final: spec_holds(final, n),
         ground_truth=ground_truth,
         jobs=jobs,
+        fail_fast=fail_fast,
     )

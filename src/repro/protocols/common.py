@@ -174,6 +174,7 @@ def verify_protocol(
     ground_truth: bool = True,
     max_configs: Optional[int] = None,
     jobs: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> ProtocolReport:
     """Generic protocol pipeline: check each IS application over the
     reachable universe (under the ghost PA context), then the sequential
@@ -183,6 +184,9 @@ def verify_protocol(
     programs are already chained (each application's program is the output
     of the previous one). ``jobs`` selects the obligation-discharge backend
     (see ``repro.engine.scheduler``); verdicts are backend-independent.
+    ``fail_fast`` skips obligations — transitively — once a dependency
+    failed; skipped conditions report an explicit ``skipped``
+    counterexample instead of running.
     """
     from ..core.context import GhostContext
     from ..core.explore import instance_summary
@@ -200,7 +204,7 @@ def verify_protocol(
                 [initial_config(initial_global)],
                 max_configs=max_configs,
             ).with_context(GhostContext(GHOST))
-            result = application.check(universe, jobs=jobs)
+            result = application.check(universe, jobs=jobs, fail_fast=fail_fast)
         report.is_results.append((label, result))
         final_program = application.apply_and_drop()
 

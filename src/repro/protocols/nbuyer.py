@@ -397,6 +397,7 @@ def verify(
     contributions: Sequence[int] = (0, 1, 2),
     ground_truth: bool = True,
     jobs: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> ProtocolReport:
     """Full pipeline for N-Buyer."""
     applications = make_sequentializations(n, prices, contributions)
@@ -409,4 +410,5 @@ def verify(
         lambda final: spec_holds(final, n),
         ground_truth=ground_truth,
         jobs=jobs,
+        fail_fast=fail_fast,
     )

@@ -618,6 +618,7 @@ def verify_sampled(
     walks: int = 300,
     seed: int = 0,
     jobs: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> ProtocolReport:
     """Bounded variant for instances whose reachable state space defies
     enumeration (R=2, N=3 has ~6·10^5 configurations): the IS conditions
@@ -640,7 +641,9 @@ def verify_sampled(
         universe = StoreUniverse.from_random_walks(
             application.program, [init], walks=walks, seed=seed
         ).with_context(GhostContext(GHOST))
-        report.is_results.append(("Paxos", application.check(universe, jobs=jobs)))
+        report.is_results.append(
+            ("Paxos", application.check(universe, jobs=jobs, fail_fast=fail_fast))
+        )
     with timed(report, "sequential spec"):
         summary = instance_summary(
             application.apply_and_drop(), initial_global(rounds, num_nodes)
@@ -660,6 +663,7 @@ def verify(
     ground_truth: bool = False,
     max_configs: Optional[int] = None,
     jobs: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> ProtocolReport:
     """Full pipeline for Paxos.
 
@@ -677,4 +681,5 @@ def verify(
         ground_truth=ground_truth,
         max_configs=max_configs,
         jobs=jobs,
+        fail_fast=fail_fast,
     )

@@ -311,7 +311,10 @@ def spec_holds(final_global: Store, rounds: int) -> bool:
 
 
 def verify(
-    rounds: int = 3, ground_truth: bool = True, jobs: Optional[int] = None
+    rounds: int = 3,
+    ground_truth: bool = True,
+    jobs: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> ProtocolReport:
     """Full pipeline for Ping-Pong."""
     application = make_sequentialization(rounds)
@@ -324,4 +327,5 @@ def verify(
         lambda final: spec_holds(final, rounds),
         ground_truth=ground_truth,
         jobs=jobs,
+        fail_fast=fail_fast,
     )

@@ -215,7 +215,10 @@ def spec_holds(final_global: Store, bound: int) -> bool:
 
 
 def verify(
-    bound: int = 4, ground_truth: bool = True, jobs: Optional[int] = None
+    bound: int = 4,
+    ground_truth: bool = True,
+    jobs: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> ProtocolReport:
     """Full pipeline for Producer-Consumer."""
     application = make_sequentialization(bound)
@@ -228,4 +231,5 @@ def verify(
         lambda final: spec_holds(final, bound),
         ground_truth=ground_truth,
         jobs=jobs,
+        fail_fast=fail_fast,
     )

@@ -468,7 +468,10 @@ def spec_holds(final_global: Store, n: int) -> bool:
 
 
 def verify(
-    n: int = 3, ground_truth: bool = True, jobs: Optional[int] = None
+    n: int = 3,
+    ground_truth: bool = True,
+    jobs: Optional[int] = None,
+    fail_fast: bool = False,
 ) -> ProtocolReport:
     """Full pipeline for two-phase commit."""
     applications = make_sequentializations(n)
@@ -481,4 +484,5 @@ def verify(
         lambda final: spec_holds(final, n),
         ground_truth=ground_truth,
         jobs=jobs,
+        fail_fast=fail_fast,
     )

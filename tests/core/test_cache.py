@@ -26,7 +26,11 @@ from repro.core.cache import (
 from repro.core.context import GhostContext
 from repro.core.universe import StoreUniverse
 from repro.engine.obligations import build_obligations
-from repro.engine.scheduler import ProcessPoolScheduler, _fork_available
+from repro.engine.scheduler import (
+    ProcessPoolScheduler,
+    SerialScheduler,
+    _fork_available,
+)
 from repro.protocols import (
     broadcast,
     changroberts,
@@ -202,6 +206,33 @@ def test_forked_child_rebuilds_cache():
     assert process_cache() is parent
 
 
+def test_serial_outcomes_carry_cache_snapshots():
+    """The serial backend snapshots the evaluation-cache counters after
+    every obligation — the per-obligation drill-down (``--stats``) must
+    work for serial runs too, not only for pool workers."""
+    app, init_global = PROTOCOL_CASES["pingpong"]()
+    universe = _universe(app, init_global)
+    obligations = build_obligations(app, universe)
+
+    reset_process_cache()
+    outcomes = SerialScheduler().run(app, universe, obligations)
+    assert len(outcomes) == len(obligations)
+    totals = []
+    for ob in obligations:
+        outcome = outcomes[ob.key]
+        assert outcome.cache_stats is not None
+        assert set(outcome.cache_stats) == {"gate", "transitions"}
+        totals.append(
+            sum(
+                kind["hits"] + kind["misses"]
+                for kind in outcome.cache_stats.values()
+            )
+        )
+    # Snapshots are cumulative: totals never decrease along build order.
+    assert totals == sorted(totals)
+    assert totals[-1] > 0
+
+
 @pytest.mark.skipif(not _fork_available(), reason="requires fork start method")
 def test_pool_workers_use_private_caches():
     """Every process-pool outcome carries the discharging worker's own
@@ -210,7 +241,9 @@ def test_pool_workers_use_private_caches():
     universe = _universe(app, init_global)
     obligations = build_obligations(app, universe)
 
-    outcomes = ProcessPoolScheduler(jobs=2).run(app, universe, obligations)
+    outcomes = ProcessPoolScheduler(jobs=2, clamp=False).run(
+        app, universe, obligations
+    )
     assert len(outcomes) == len(obligations)
     worker_pids = {o.pid for o in outcomes.values()}
     assert os.getpid() not in worker_pids

@@ -58,8 +58,33 @@ class TestBasics:
         m = Multiset([1]) - Multiset([1, 1, 2])
         assert len(m) == 0
 
-    def test_sub_single_element(self):
-        assert (Multiset([1, 2]) - 1) == Multiset([2])
+    def test_sub_requires_multiset(self):
+        """``-`` is multiset difference only; element removal is spelled
+        ``remove`` so the two can never be confused."""
+        with pytest.raises(TypeError):
+            Multiset([1, 2]) - 1
+
+    def test_nested_multiset_elements(self):
+        """A bag of bags: removing a multiset-valued *element* is spelled
+        ``remove`` (strict), while ``-`` is always a difference over
+        elements. The old isinstance dispatch made ``outer - inner``
+        silently diff against ``inner``'s contents, so the element-removal
+        reading was unreachable for nested multisets."""
+        inner = Multiset([1])
+        other = Multiset([1, 2])
+        outer = Multiset([inner, inner, other])
+        # Element removal: one copy of the element ``inner`` goes away.
+        assert outer.remove(inner).count(inner) == 1
+        # Operator: difference over outer's elements. ``inner`` contains
+        # the element 1, which outer (a bag of bags) does not contain, so
+        # the difference leaves outer unchanged — and equals the explicit
+        # method spelling, never a disguised ``remove``.
+        assert outer - inner == outer.difference(inner) == outer
+        # Difference with a bag holding the element removes one copy.
+        assert (outer - Multiset([inner])) == outer.remove(inner)
+        # Strict removal of an absent nested element still raises.
+        with pytest.raises(KeyError):
+            outer.remove(Multiset([2]))
 
     def test_includes(self):
         assert Multiset([1, 1, 2]).includes(Multiset([1, 2]))

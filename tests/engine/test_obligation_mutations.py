@@ -17,6 +17,7 @@ from repro.core import Action, ISApplication
 from repro.core.context import GhostContext
 from repro.core.semantics import initial_config
 from repro.core.universe import StoreUniverse
+from repro.engine.scheduler import ProcessPoolScheduler
 from repro.core.wellfounded import LexicographicMeasure, pa_potential
 from repro.protocols import pingpong
 from repro.protocols.common import GHOST
@@ -146,7 +147,9 @@ def test_mutation_fails_exactly_the_expected_obligations(name, good, universe):
 
     inline = mutant.check_inline(universe)
     serial = mutant.check(universe, jobs=1)
-    parallel = mutant.check(universe, jobs=3)
+    parallel = mutant.check(
+        universe, scheduler=ProcessPoolScheduler(3, clamp=False)
+    )
 
     assert _failed(inline) == expected
     # Every failing condition carries a concrete counterexample.
@@ -161,17 +164,27 @@ def test_good_application_passes_everywhere(good, universe):
     inline = good.check_inline(universe)
     assert inline.holds
     assert _condition_map(good.check(universe, jobs=1)) == _condition_map(inline)
-    assert _condition_map(good.check(universe, jobs=3)) == _condition_map(inline)
+    assert _condition_map(
+        good.check(universe, scheduler=ProcessPoolScheduler(3, clamp=False))
+    ) == _condition_map(inline)
 
 
-@pytest.mark.parametrize("jobs", [1, 3])
-def test_fail_fast_skips_dependents_of_broken_abstraction(jobs, good, universe):
+@pytest.mark.parametrize("backend", ["serial", "pool"])
+def test_fail_fast_skips_dependents_of_broken_abstraction(
+    backend, good, universe
+):
     """With fail_fast, conditions depending on a failed abstraction (the
     LM/CO/I3 obligations of the broken action) are skipped — reported as
     failing with an explicit 'skipped' counterexample, deterministically
     under both backends."""
     mutant = _wrong_abstraction(good)
-    result = mutant.check(universe, jobs=jobs, fail_fast=True)
+    scheduler = (
+        None if backend == "serial" else ProcessPoolScheduler(3, clamp=False)
+    )
+    result = mutant.check(
+        universe, jobs=1 if backend == "serial" else None,
+        scheduler=scheduler, fail_fast=True,
+    )
 
     assert not result.holds
     assert not result.conditions["abs[Pong]"].holds
