@@ -29,10 +29,20 @@ clamped to one worker and is expected to trail the serial run slightly —
 the parallel win needs cores; the warm-up win (``parallel_warm`` vs
 ``parallel_cold``) shows even without them.
 
+``--trace FILE`` attaches a :class:`repro.obs.Tracer` to the serial, cold-
+pool, and warm-pool runs (scoped ``serial`` / ``parallel_cold`` /
+``parallel_warm``) and writes one Chrome ``trace_event`` file covering all
+three — load it in Perfetto and the warm-vs-cold difference is visible
+span by span: the cold workers' leading obligations run long (each worker
+re-deriving memos) while the warm workers' start short. ``--smoke`` runs
+the smallest instance (R=1, N=1) on the serial backend only and emits a
+reduced JSON — CI uses it to guard this script against rot.
+
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_obligations.py [--rounds 2]
         [--nodes 2] [--jobs 4] [--output BENCH_obligations.json]
+        [--trace FILE] [--smoke]
 """
 
 from __future__ import annotations
@@ -88,9 +98,17 @@ def _build_universe(app, init_global, uncached: bool) -> StoreUniverse:
     )
 
 
-def _timed_check(app, universe, jobs=None, scheduler=None):
+def _timed_check(app, universe, jobs=None, scheduler=None, tracer=None, scope=None):
     started = time.perf_counter()
-    result = app.check(universe, jobs=jobs, scheduler=scheduler)
+    if tracer is not None and scope is not None:
+        with tracer.scope(scope):
+            result = app.check(
+                universe, jobs=jobs, scheduler=scheduler, tracer=tracer
+            )
+    else:
+        result = app.check(
+            universe, jobs=jobs, scheduler=scheduler, tracer=tracer
+        )
     return result, time.perf_counter() - started
 
 
@@ -126,7 +144,34 @@ def _pool_scheduler(jobs: int) -> tuple:
     return scheduler, clamp_warning
 
 
-def run_benchmark(rounds: int, nodes: int, jobs: int) -> dict:
+def run_smoke(rounds: int = 1, nodes: int = 1) -> dict:
+    """The CI guard: smallest Paxos instance, serial backend only.
+
+    Exists so a scheduled pipeline can prove this script still runs end to
+    end (imports, universe construction, engine API, JSON layout) in a few
+    seconds, without the multi-minute full benchmark."""
+    app = paxos.make_sequentialization(rounds, nodes)
+    init_global = paxos.initial_global(rounds, nodes)
+    reset_process_cache()
+    combine.cache_clear()
+    universe = _build_universe(app, init_global, uncached=False)
+    result, seconds = _timed_check(app, universe, jobs=1)
+    return {
+        "benchmark": "obligation discharge (Paxos) — smoke",
+        "mode": "smoke",
+        "instance": {"rounds": rounds, "num_nodes": nodes},
+        "universe": {
+            "globals": len(universe.globals_),
+            "num_obligations_serial": result.num_obligations,
+            "total_checked": result.total_checked,
+        },
+        "wall_time_seconds": {"serial_memoized": round(seconds, 3)},
+        "verdict": result.holds,
+        "cache_hit_rates_serial": {"evaluation": process_cache().as_dict()},
+    }
+
+
+def run_benchmark(rounds: int, nodes: int, jobs: int, tracer=None) -> dict:
     app = paxos.make_sequentialization(rounds, nodes)
     init_global = paxos.initial_global(rounds, nodes)
 
@@ -141,7 +186,9 @@ def run_benchmark(rounds: int, nodes: int, jobs: int) -> dict:
     reset_process_cache()
     combine.cache_clear()
     universe = _build_universe(app, init_global, uncached=False)
-    serial_result, serial_time = _timed_check(app, universe, jobs=1)
+    serial_result, serial_time = _timed_check(
+        app, universe, jobs=1, tracer=tracer, scope="serial"
+    )
     serial_cache = process_cache().as_dict()
     context_cache = universe.context_cache_stats.as_dict()
 
@@ -152,7 +199,8 @@ def run_benchmark(rounds: int, nodes: int, jobs: int) -> dict:
     cold_scheduler, clamp_warning = _pool_scheduler(jobs)
     cold_scheduler.warm = False
     cold_result, cold_time = _timed_check(
-        app, cold_universe, scheduler=cold_scheduler
+        app, cold_universe, scheduler=cold_scheduler,
+        tracer=tracer, scope="parallel_cold",
     )
 
     # --- process pool, warm workers (fork-inherited memos) -----------------
@@ -161,7 +209,8 @@ def run_benchmark(rounds: int, nodes: int, jobs: int) -> dict:
     warm_universe = _build_universe(app, init_global, uncached=False)
     warm_scheduler, _ = _pool_scheduler(jobs)
     warm_result, warm_time = _timed_check(
-        app, warm_universe, scheduler=warm_scheduler
+        app, warm_universe, scheduler=warm_scheduler,
+        tracer=tracer, scope="parallel_warm",
     )
 
     verdicts = {
@@ -257,9 +306,42 @@ def main(argv=None) -> int:
         type=Path,
         default=ROOT / "BENCH_obligations.json",
     )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smallest instance (R=1, N=1), serial backend only — the CI "
+        "guard against this script rotting",
+    )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        help="also write a Chrome trace_event JSON spanning the serial, "
+        "cold-pool, and warm-pool runs",
+    )
     args = parser.parse_args(argv)
 
-    payload = run_benchmark(args.rounds, args.nodes, args.jobs)
+    if args.smoke:
+        payload = run_smoke()
+        if args.output == ROOT / "BENCH_obligations.json":
+            # Never clobber the recorded full benchmark with smoke data.
+            args.output = ROOT / "BENCH_obligations_smoke.json"
+    else:
+        tracer = None
+        if args.trace is not None:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
+        payload = run_benchmark(args.rounds, args.nodes, args.jobs, tracer=tracer)
+        if tracer is not None:
+            from repro.obs import write_chrome_trace
+
+            write_chrome_trace(tracer, args.trace)
+            payload["trace_file"] = str(args.trace)
+            print(
+                f"wrote {args.trace} ({len(tracer.spans)} spans)",
+                file=sys.stderr,
+            )
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(json.dumps(payload, indent=2))
     print(f"\nwrote {args.output}", file=sys.stderr)

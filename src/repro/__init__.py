@@ -18,7 +18,17 @@ See README.md, DESIGN.md, and EXPERIMENTS.md at the repository root.
 
 __version__ = "1.0.0"
 
-from . import analysis, core, engine, invariants, lang, logic, protocols, reduction
+from . import (
+    analysis,
+    core,
+    engine,
+    invariants,
+    lang,
+    logic,
+    obs,
+    protocols,
+    reduction,
+)
 
 __all__ = [
     "analysis",
@@ -27,6 +37,7 @@ __all__ = [
     "invariants",
     "lang",
     "logic",
+    "obs",
     "protocols",
     "reduction",
     "__version__",

@@ -2,12 +2,15 @@
 
 Commands
 --------
-``table1 [--jobs N] [--stats] [--fail-fast]``
+``table1 [--jobs N] [--stats] [--fail-fast] [--trace FILE] [--metrics FILE]``
     Regenerate the Table 1 analogue (runs all seven verifications).
     ``--jobs`` discharges the IS obligations over N worker processes;
     ``--stats`` adds per-obligation wall-time / enumeration statistics;
-    ``--fail-fast`` skips obligations downstream of a failure.
-``verify <protocol> [--jobs N] [--fail-fast]``
+    ``--fail-fast`` skips obligations downstream of a failure;
+    ``--trace`` writes a Chrome ``trace_event`` JSON (open in
+    ``chrome://tracing`` or Perfetto) and ``--metrics`` a flat metrics
+    JSON, both covering every discharged obligation.
+``verify <protocol> [--jobs N] [--fail-fast] [--trace FILE] [--metrics FILE]``
     Run one protocol's pipeline at its default instance parameters and
     print the report. Protocols: broadcast, pingpong, prodcons, nbuyer,
     changroberts, twophase, paxos.
@@ -21,14 +24,51 @@ import argparse
 import sys
 
 
-def _cmd_table1(args) -> int:
-    from .analysis import build_table1, render_obligation_stats, render_table1
+def _make_tracer(args):
+    """A tracer when ``--trace``/``--metrics`` was requested, else None —
+    the engine's untraced path stays byte-identical."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
+        return None
+    from .obs import Tracer
 
-    rows = build_table1(jobs=args.jobs, fail_fast=args.fail_fast)
+    tracer = Tracer()
+    tracer.meta["argv"] = " ".join(sys.argv[1:])
+    return tracer
+
+
+def _export_trace(tracer, args) -> None:
+    from .obs import render_summary, write_chrome_trace, write_metrics
+
+    print()
+    print(render_summary(tracer))
+    if args.trace:
+        path = write_chrome_trace(tracer, args.trace)
+        print(
+            f"trace: wrote {path} ({len(tracer.spans)} spans; open in "
+            f"chrome://tracing or https://ui.perfetto.dev)"
+        )
+    if args.metrics:
+        path = write_metrics(tracer, args.metrics)
+        print(f"metrics: wrote {path}")
+
+
+def _cmd_table1(args) -> int:
+    from .analysis import (
+        build_table1,
+        render_obligation_stats,
+        render_table1,
+        verify_trace_consistency,
+    )
+
+    tracer = _make_tracer(args)
+    rows = build_table1(jobs=args.jobs, fail_fast=args.fail_fast, tracer=tracer)
     print(render_table1(rows))
     if args.stats:
         print()
         print(render_obligation_stats(rows))
+    if tracer is not None:
+        verify_trace_consistency(rows, tracer)
+        _export_trace(tracer, args)
     return 0 if all(row.ok for row in rows) else 1
 
 
@@ -40,8 +80,11 @@ def _cmd_verify(args) -> int:
         print(f"unknown protocol {args.protocol!r}; try: "
               f"{', '.join(sorted(ALL_PROTOCOLS))}", file=sys.stderr)
         return 2
-    report = module.verify(jobs=args.jobs, fail_fast=args.fail_fast)
+    tracer = _make_tracer(args)
+    report = module.verify(jobs=args.jobs, fail_fast=args.fail_fast, tracer=tracer)
     print(report.summary())
+    if tracer is not None:
+        _export_trace(tracer, args)
     return 0 if report.ok else 1
 
 
@@ -82,6 +125,18 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip obligations (transitively) downstream of a failed one",
     )
+    table1.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace_event JSON of every discharged obligation",
+    )
+    table1.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write a flat metrics JSON (per-obligation and aggregates)",
+    )
     verify = sub.add_parser("verify", help="verify one protocol")
     verify.add_argument("protocol")
     verify.add_argument(
@@ -95,6 +150,18 @@ def main(argv=None) -> int:
         "--fail-fast",
         action="store_true",
         help="skip obligations (transitively) downstream of a failed one",
+    )
+    verify.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a Chrome trace_event JSON of every discharged obligation",
+    )
+    verify.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write a flat metrics JSON (per-obligation and aggregates)",
     )
     sub.add_parser("list", help="list protocols")
     args = parser.parse_args(argv)

@@ -1,6 +1,11 @@
 """Evaluation harness: metrics and the Table 1 analogue."""
 
-from .metrics import module_loc, source_loc
+from .metrics import (
+    module_loc,
+    source_loc,
+    trace_checked_by_scope,
+    verify_trace_consistency,
+)
 from .table1 import (
     TABLE1_REGISTRY,
     Table1Row,
@@ -12,6 +17,8 @@ from .table1 import (
 __all__ = [
     "module_loc",
     "source_loc",
+    "trace_checked_by_scope",
+    "verify_trace_consistency",
     "TABLE1_REGISTRY",
     "Table1Row",
     "build_table1",

@@ -20,9 +20,14 @@ size to the implementation) are the reproduced signal.
 from __future__ import annotations
 
 import inspect
-from typing import Callable, Iterable
+from typing import Callable, Dict, Iterable
 
-__all__ = ["source_loc", "module_loc"]
+__all__ = [
+    "source_loc",
+    "module_loc",
+    "trace_checked_by_scope",
+    "verify_trace_consistency",
+]
 
 
 def _count_lines(source: str) -> int:
@@ -61,3 +66,48 @@ def source_loc(objects: Iterable[Callable]) -> int:
 def module_loc(module) -> int:
     """Non-blank, non-comment, non-docstring lines of a whole module."""
     return _count_lines(inspect.getsource(module))
+
+
+# --------------------------------------------------------------------- #
+# Trace-derived metrics (repro.obs)
+# --------------------------------------------------------------------- #
+
+
+def trace_checked_by_scope(tracer) -> Dict[str, int]:
+    """Per-protocol enumeration counts from a tracer's obligation spans,
+    keyed by the top-level scope segment (the protocol name when the
+    tracer wrapped ``verify`` or ``build_table1``)."""
+    totals: Dict[str, int] = {}
+    for span in tracer.obligation_spans():
+        scope = span.scope.split("/", 1)[0] if span.scope else ""
+        totals[scope] = totals.get(scope, 0) + span.checked
+    return totals
+
+
+def verify_trace_consistency(rows, tracer) -> None:
+    """Assert the tracer's aggregates match the scheduler's book exactly.
+
+    ``rows`` are :class:`~repro.analysis.table1.Table1Row` values produced
+    with this tracer attached. The obligation spans' summed ``checked``
+    counters must equal the rows' summed ``num_checks`` (which come from
+    the merged condition maps), and the span count must equal the rows'
+    summed ``num_obligations``. The CLI runs this after every
+    ``--trace``/``--metrics`` export, so a published metrics file is
+    guaranteed to agree with the table it accompanies; a mismatch is an
+    engine accounting bug, not a formatting problem — hence an assertion,
+    not a warning.
+    """
+    span_checked = sum(s.checked for s in tracer.obligation_spans())
+    row_checked = sum(row.num_checks for row in rows)
+    if span_checked != row_checked:
+        raise AssertionError(
+            f"trace/table divergence: spans account for {span_checked} "
+            f"evaluations, condition maps for {row_checked}"
+        )
+    span_obligations = len(tracer.obligation_spans())
+    row_obligations = sum(row.num_obligations for row in rows)
+    if span_obligations != row_obligations:
+        raise AssertionError(
+            f"trace/table divergence: {span_obligations} obligation spans "
+            f"vs {row_obligations} discharged obligations"
+        )

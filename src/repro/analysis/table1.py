@@ -65,8 +65,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Broadcast consensus",
         broadcast,
-        lambda jobs=None, fail_fast=False: broadcast.verify(
-            n=3, iterated=True, jobs=jobs, fail_fast=fail_fast
+        lambda jobs=None, fail_fast=False, tracer=None: broadcast.verify(
+            n=3, iterated=True, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (
             broadcast.make_invariant,
@@ -82,8 +82,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Ping-Pong",
         pingpong,
-        lambda jobs=None, fail_fast=False: pingpong.verify(
-            rounds=3, jobs=jobs, fail_fast=fail_fast
+        lambda jobs=None, fail_fast=False, tracer=None: pingpong.verify(
+            rounds=3, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (
             pingpong.make_abstractions,
@@ -96,8 +96,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Producer-Consumer",
         prodcons,
-        lambda jobs=None, fail_fast=False: prodcons.verify(
-            bound=4, jobs=jobs, fail_fast=fail_fast
+        lambda jobs=None, fail_fast=False, tracer=None: prodcons.verify(
+            bound=4, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (
             prodcons.make_consumer_abs,
@@ -110,8 +110,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "N-Buyer",
         nbuyer,
-        lambda jobs=None, fail_fast=False: nbuyer.verify(
-            n=3, jobs=jobs, fail_fast=fail_fast
+        lambda jobs=None, fail_fast=False, tracer=None: nbuyer.verify(
+            n=3, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (nbuyer.make_measure, nbuyer.make_sequentializations),
         (nbuyer.make_atomic, nbuyer.initial_global),
@@ -119,8 +119,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Chang-Roberts",
         changroberts,
-        lambda jobs=None, fail_fast=False: changroberts.verify(
-            n=4, jobs=jobs, fail_fast=fail_fast
+        lambda jobs=None, fail_fast=False, tracer=None: changroberts.verify(
+            n=4, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (
             changroberts.make_handle_abs,
@@ -135,8 +135,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Two-phase commit",
         twophase,
-        lambda jobs=None, fail_fast=False: twophase.verify(
-            n=3, jobs=jobs, fail_fast=fail_fast
+        lambda jobs=None, fail_fast=False, tracer=None: twophase.verify(
+            n=3, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (twophase.make_measure, twophase.make_sequentializations),
         (twophase.make_atomic, twophase.initial_global),
@@ -144,8 +144,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Paxos",
         paxos,
-        lambda jobs=None, fail_fast=False: paxos.verify(
-            rounds=2, num_nodes=2, jobs=jobs, fail_fast=fail_fast
+        lambda jobs=None, fail_fast=False, tracer=None: paxos.verify(
+            rounds=2, num_nodes=2, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (
             paxos.make_abstractions,
@@ -162,6 +162,7 @@ def build_table1(
     entries: Sequence[_Entry] = None,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
+    tracer=None,
 ) -> List[Table1Row]:
     """Run every example's full pipeline and assemble the table.
 
@@ -169,11 +170,14 @@ def build_table1(
     (see ``repro.engine.scheduler``); verdicts are backend-independent.
     ``fail_fast`` skips obligations (transitively) downstream of a failed
     one — rows of a healthy suite are unaffected, broken rows finish
-    sooner with explicit ``skipped`` counterexamples.
+    sooner with explicit ``skipped`` counterexamples. ``tracer`` (a
+    :class:`repro.obs.Tracer`) threads through every pipeline: each
+    protocol scopes its own spans, so one tracer accumulates the whole
+    table's obligations for export (``python -m repro table1 --trace``).
     """
     rows: List[Table1Row] = []
     for entry in entries if entries is not None else TABLE1_REGISTRY:
-        report = entry.verify(jobs=jobs, fail_fast=fail_fast)
+        report = entry.verify(jobs=jobs, fail_fast=fail_fast, tracer=tracer)
         rows.append(
             Table1Row(
                 example=entry.name,

@@ -49,6 +49,8 @@ __all__ = [
     "active_cache",
     "caching_disabled",
     "reset_process_cache",
+    "counts_snapshot",
+    "snapshot_delta",
 ]
 
 
@@ -212,6 +214,17 @@ class EvaluationCache:
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         return {kind: s.as_dict() for kind, s in self.stats_by_kind().items()}
 
+    def counts_snapshot(self) -> Dict[str, Tuple[int, int]]:
+        """Raw ``{kind: (hits, misses)}`` counters, cheap enough to take
+        around every obligation (a handful of integer reads — the number
+        of distinct memos, not the number of cached stores). Pair two
+        snapshots with :func:`snapshot_delta` to attribute cache activity
+        to one span of work."""
+        return {
+            kind: (stats.hits, stats.misses)
+            for kind, stats in self.stats_by_kind().items()
+        }
+
     def clear(self) -> None:
         self._memos.clear()
 
@@ -262,6 +275,35 @@ def active_cache() -> Optional[EvaluationCache]:
     if _DISABLED_DEPTH:
         return None
     return process_cache()
+
+
+def counts_snapshot() -> Dict[str, Tuple[int, int]]:
+    """The process cache's raw counters right now (see
+    :meth:`EvaluationCache.counts_snapshot`). Always reads the live
+    process cache — while caching is disabled the counters simply do not
+    move, so deltas come out zero, which is the honest report."""
+    return process_cache().counts_snapshot()
+
+
+def snapshot_delta(
+    before: Dict[str, Tuple[int, int]], after: Dict[str, Tuple[int, int]]
+) -> Dict[str, Dict[str, int]]:
+    """Per-kind hit/miss increments between two counter snapshots.
+
+    The schedulers bracket every obligation with snapshots and ship the
+    delta back with the result, giving the tracing layer per-span cache
+    attribution without a second accounting path. Counters are monotone
+    within a process, so the delta is non-negative; kinds absent from
+    ``before`` (memos created inside the span) count from zero.
+    """
+    delta: Dict[str, Dict[str, int]] = {}
+    for kind, (hits_after, misses_after) in after.items():
+        hits_before, misses_before = before.get(kind, (0, 0))
+        delta[kind] = {
+            "hits": max(0, hits_after - hits_before),
+            "misses": max(0, misses_after - misses_before),
+        }
+    return delta
 
 
 @contextmanager

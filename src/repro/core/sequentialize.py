@@ -596,6 +596,7 @@ class ISApplication:
         jobs: Optional[int] = None,
         scheduler=None,
         fail_fast: bool = False,
+        tracer=None,
     ) -> ISResult:
         """Check all IS conditions over a store universe.
 
@@ -610,6 +611,11 @@ class ISApplication:
         already failed; the default runs everything, matching
         :meth:`check_inline`. The resulting condition map is identical for
         every backend.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records one span per
+        discharged obligation; it observes the outcomes the scheduler
+        already returns and cannot change the result (``tracer=None``
+        output is identical, byte for byte).
         """
         from ..engine.obligations import discharge
 
@@ -620,6 +626,7 @@ class ISApplication:
             jobs=jobs,
             scheduler=scheduler,
             fail_fast=fail_fast,
+            tracer=tracer,
         )
 
     def check_inline(

@@ -407,6 +407,7 @@ def discharge(
     jobs: Optional[int] = None,
     scheduler=None,
     fail_fast: bool = False,
+    tracer=None,
 ) -> ISResult:
     """Build, schedule, and merge the obligation DAG for one application.
 
@@ -419,6 +420,13 @@ def discharge(
     :func:`lm_slice_count` globals slices — enough sub-obligations to
     saturate the workers. The serial backend keeps the coarse layout
     (sharding buys it nothing and costs bookkeeping).
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) records one span per
+    obligation — including every shard and slice, and skipped obligations
+    (zero duration, flagged) — plus the pool's cache warm-up pass. Spans
+    are derived *after* scheduling from the outcomes the scheduler returns
+    anyway, so a tracer can never perturb verdicts, condition maps, or
+    scheduling decisions.
     """
     from .scheduler import make_scheduler
 
@@ -467,6 +475,8 @@ def discharge(
             )
     merged = merge_outcomes(app, obligations, results, timings=timings)
     merged.warmup_seconds = getattr(scheduler, "last_warmup_seconds", 0.0)
+    if tracer is not None:
+        _emit_spans(tracer, scheduler, obligations, outcomes)
     workers: Dict[int, dict] = {}
     for outcome in outcomes.values():
         if outcome.cache_stats is None:
@@ -486,3 +496,47 @@ def _snapshot_total(snapshot: Mapping[str, Mapping[str, float]]) -> float:
     return sum(
         kind.get("hits", 0) + kind.get("misses", 0) for kind in snapshot.values()
     )
+
+
+def _emit_spans(tracer, scheduler, obligations, outcomes) -> None:
+    """Turn scheduler outcomes into tracer spans (one per obligation, in
+    build order, plus the pool's warm-up pass). Purely derivational: reads
+    outcome fields the schedulers populate unconditionally."""
+    import os
+
+    from ..obs.tracer import Span
+
+    backend = getattr(scheduler, "backend_name", type(scheduler).__name__)
+    warmup_started = getattr(scheduler, "last_warmup_started", None)
+    if warmup_started is not None:
+        tracer.add(
+            Span(
+                name="cache-warmup",
+                category="warmup",
+                start=warmup_started,
+                duration=getattr(scheduler, "last_warmup_seconds", 0.0),
+                pid=os.getpid(),
+                backend=backend,
+            )
+        )
+    for ob in obligations:
+        outcome = outcomes.get(ob.key)
+        if outcome is None:
+            continue
+        skipped = outcome.result is None
+        tracer.add(
+            Span(
+                name=ob.key,
+                category="obligation",
+                start=outcome.started,
+                duration=outcome.elapsed,
+                pid=outcome.pid,
+                backend=backend,
+                kind=ob.kind,
+                condition=ob.condition,
+                checked=0 if skipped else outcome.result.checked,
+                holds=None if skipped else outcome.result.holds,
+                skipped=skipped,
+                cache_delta=outcome.cache_delta,
+            )
+        )

@@ -64,6 +64,15 @@ class ObligationOutcome:
     (hits/misses by kind) taken right after the obligation ran — both
     backends record it; benchmarks aggregate the last snapshot per
     ``pid``.
+
+    ``started`` (a ``perf_counter`` stamp from the discharging process —
+    comparable across ``fork`` boundaries, where the monotonic clock is
+    shared) and ``cache_delta`` (the hit/miss increment attributable to
+    this obligation alone) are the tracing layer's span ingredients. Both
+    backends record them unconditionally — they cost a timestamp and a
+    few integer reads — so attaching a tracer never changes what the
+    scheduler executes (the no-perturbation guarantee; see
+    ``repro.obs``).
     """
 
     key: str
@@ -71,6 +80,8 @@ class ObligationOutcome:
     elapsed: float
     pid: int
     cache_stats: Optional[dict] = None
+    started: float = 0.0
+    cache_delta: Optional[dict] = None
 
 
 def _blocked_deps(
@@ -107,6 +118,7 @@ class SerialScheduler:
 
     parallelism = 1
     last_warmup_seconds = 0.0
+    backend_name = "serial"
 
     def run(
         self,
@@ -115,7 +127,7 @@ class SerialScheduler:
         obligations: Sequence,
         fail_fast: bool = False,
     ) -> Dict[str, ObligationOutcome]:
-        from ..core.cache import process_cache
+        from ..core.cache import counts_snapshot, process_cache, snapshot_delta
         from .obligations import execute_obligation
 
         pid = os.getpid()
@@ -124,11 +136,14 @@ class SerialScheduler:
         skipped: Set[str] = set()
         lm_universes: Dict[str, StoreUniverse] = {}
         for ob in obligations:
+            started = time.perf_counter()
             if fail_fast and _blocked_deps(ob, verdicts, skipped):
                 skipped.add(ob.key)
-                outcomes[ob.key] = ObligationOutcome(ob.key, None, 0.0, pid)
+                outcomes[ob.key] = ObligationOutcome(
+                    ob.key, None, 0.0, pid, started=started
+                )
                 continue
-            started = time.perf_counter()
+            before = counts_snapshot()
             result = execute_obligation(app, universe, ob, lm_universes)
             elapsed = time.perf_counter() - started
             verdicts[ob.key] = result.holds
@@ -138,6 +153,8 @@ class SerialScheduler:
                 elapsed,
                 pid,
                 cache_stats=process_cache().as_dict(),
+                started=started,
+                cache_delta=snapshot_delta(before, counts_snapshot()),
             )
         return outcomes
 
@@ -159,14 +176,24 @@ _WORKER_LM_UNIVERSES: Dict[str, StoreUniverse] = {}
 
 
 def _worker_run(key: str):
-    from ..core.cache import process_cache
+    from ..core.cache import counts_snapshot, process_cache, snapshot_delta
     from .obligations import execute_obligation
 
     app, universe, by_key = _WORKER_PAYLOAD
     started = time.perf_counter()
+    before = counts_snapshot()
     result = execute_obligation(app, universe, by_key[key], _WORKER_LM_UNIVERSES)
     elapsed = time.perf_counter() - started
-    return key, result, elapsed, os.getpid(), process_cache().as_dict()
+    delta = snapshot_delta(before, counts_snapshot())
+    return (
+        key,
+        result,
+        elapsed,
+        os.getpid(),
+        process_cache().as_dict(),
+        started,
+        delta,
+    )
 
 
 class ProcessPoolScheduler:
@@ -205,11 +232,16 @@ class ProcessPoolScheduler:
         self.jobs = effective
         self.warm = warm
         self.last_warmup_seconds = 0.0
+        self.last_warmup_started: Optional[float] = None
         self.last_warmed_evaluations = 0
 
     @property
     def parallelism(self) -> int:
         return self.jobs if _fork_available() else 1
+
+    @property
+    def backend_name(self) -> str:
+        return f"pool[{self.jobs}]"
 
     def run(
         self,
@@ -230,11 +262,13 @@ class ProcessPoolScheduler:
         from ..core.cache import active_cache, process_cache
 
         self.last_warmup_seconds = 0.0
+        self.last_warmup_started = None
         self.last_warmed_evaluations = 0
         if self.warm and active_cache() is not None:
             started = time.perf_counter()
             self.last_warmed_evaluations = app.warm_evaluation_cache(universe)
             process_cache().mark_inheritable()
+            self.last_warmup_started = started
             self.last_warmup_seconds = time.perf_counter() - started
 
         global _WORKER_PAYLOAD
@@ -254,15 +288,27 @@ class ProcessPoolScheduler:
                         if fail_fast and _blocked_deps(ob, verdicts, skipped):
                             skipped.add(ob.key)
                             outcomes[ob.key] = ObligationOutcome(
-                                ob.key, None, 0.0, os.getpid()
+                                ob.key,
+                                None,
+                                0.0,
+                                os.getpid(),
+                                started=time.perf_counter(),
                             )
                             continue
                         futures.append(pool.submit(_worker_run, ob.key))
                     for future in futures:
-                        key, result, elapsed, pid, stats = future.result()
+                        key, result, elapsed, pid, stats, started, delta = (
+                            future.result()
+                        )
                         verdicts[key] = result.holds
                         outcomes[key] = ObligationOutcome(
-                            key, result, elapsed, pid, cache_stats=stats
+                            key,
+                            result,
+                            elapsed,
+                            pid,
+                            cache_stats=stats,
+                            started=started,
+                            cache_delta=delta,
                         )
         finally:
             _WORKER_PAYLOAD = None

@@ -1,0 +1,33 @@
+"""Observability for the obligation-discharge engine.
+
+``repro.obs`` is the engine's flight recorder: a :class:`~repro.obs.tracer.Tracer`
+attached to :meth:`ISApplication.check <repro.core.sequentialize.ISApplication.check>`,
+a protocol ``verify()`` pipeline, or a whole ``build_table1`` sweep records
+one span per discharged obligation (and per shard/slice, per pipeline
+phase, and per pool warm-up pass), and the exporters in
+:mod:`repro.obs.export` turn the spans into a Chrome ``trace_event`` file,
+a flat metrics JSON, or a terminal summary table.
+
+The subsystem is opt-in and observation-only: with no tracer attached the
+engine's outputs are identical, byte for byte, to a build without this
+package (see DESIGN.md, "Observability" — the no-perturbation guarantee).
+"""
+
+from .export import (
+    chrome_trace,
+    metrics_payload,
+    render_summary,
+    write_chrome_trace,
+    write_metrics,
+)
+from .tracer import Span, Tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "metrics_payload",
+    "render_summary",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -475,11 +475,14 @@ def verify(
     ground_truth: bool = True,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
+    tracer=None,
 ) -> ProtocolReport:
     """Full pipeline: IS condition checks, sequential spec on the
     transformed program, and (optionally) the ground-truth refinement
     :math:`\\mathcal{P} \\preccurlyeq \\mathcal{P}'` by exhaustive
     exploration."""
+    from contextlib import nullcontext
+
     values = tuple(values if values is not None else default_values(n))
     report = ProtocolReport(
         "broadcast-consensus", {"n": n, "values": values, "iterated": iterated}
@@ -494,25 +497,42 @@ def verify(
         labels = ["Broadcast+Collect"]
 
     final_program = original
-    for label, application in zip(labels, applications):
-        with timed(report, f"IS[{label}]"):
-            universe = make_universe(application.program, n, values)
-            result = application.check(universe, jobs=jobs, fail_fast=fail_fast)
-        report.is_results.append((label, result))
-        final_program = application.apply_and_drop()
+    with (
+        tracer.scope("broadcast-consensus")
+        if tracer is not None
+        else nullcontext()
+    ):
+        for label, application in zip(labels, applications):
+            with timed(report, f"IS[{label}]", tracer=tracer):
+                universe = make_universe(application.program, n, values)
+                with (
+                    tracer.scope(f"IS[{label}]")
+                    if tracer is not None
+                    else nullcontext()
+                ):
+                    result = application.check(
+                        universe, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+                    )
+            report.is_results.append((label, result))
+            final_program = application.apply_and_drop()
 
-    with timed(report, "sequential spec"):
-        summary = instance_summary(final_program, initial_global(n, values))
-        report.spec_ok = (not summary.can_fail) and bool(summary.final_globals) and all(
-            spec_holds(final, n, values) for final in summary.final_globals
-        )
-
-    if ground_truth:
-        with timed(report, "ground truth"):
-            report.ground_truth = check_program_refinement(
-                original,
-                final_program,
-                [(initial_global(n, values), EMPTY_STORE)],
-                name="P2 ≼ P' (exhaustive)",
+        with timed(report, "sequential spec", tracer=tracer):
+            summary = instance_summary(final_program, initial_global(n, values))
+            report.spec_ok = (
+                (not summary.can_fail)
+                and bool(summary.final_globals)
+                and all(
+                    spec_holds(final, n, values)
+                    for final in summary.final_globals
+                )
             )
+
+        if ground_truth:
+            with timed(report, "ground truth", tracer=tracer):
+                report.ground_truth = check_program_refinement(
+                    original,
+                    final_program,
+                    [(initial_global(n, values), EMPTY_STORE)],
+                    name="P2 ≼ P' (exhaustive)",
+                )
     return report

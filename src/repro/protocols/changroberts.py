@@ -374,6 +374,7 @@ def verify(
     ground_truth: bool = True,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
+    tracer=None,
 ) -> ProtocolReport:
     """Full pipeline for Chang-Roberts."""
     applications = make_sequentializations(n)
@@ -387,4 +388,5 @@ def verify(
         ground_truth=ground_truth,
         jobs=jobs,
         fail_fast=fail_fast,
+        tracer=tracer,
     )

@@ -18,7 +18,9 @@ The module also provides the common report type returned by each protocol's
 
 from __future__ import annotations
 
+import os
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -175,6 +177,7 @@ def verify_protocol(
     max_configs: Optional[int] = None,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
+    tracer=None,
 ) -> ProtocolReport:
     """Generic protocol pipeline: check each IS application over the
     reachable universe (under the ghost PA context), then the sequential
@@ -186,7 +189,10 @@ def verify_protocol(
     (see ``repro.engine.scheduler``); verdicts are backend-independent.
     ``fail_fast`` skips obligations — transitively — once a dependency
     failed; skipped conditions report an explicit ``skipped``
-    counterexample instead of running.
+    counterexample instead of running. ``tracer`` (a
+    :class:`repro.obs.Tracer`) records phase spans for every pipeline
+    stage and obligation spans for every IS check, scoped under the
+    protocol name and IS label; it never affects verdicts or reports.
     """
     from ..core.context import GhostContext
     from ..core.explore import instance_summary
@@ -197,47 +203,61 @@ def verify_protocol(
 
     report = ProtocolReport(name, dict(parameters))
     final_program = original
-    for label, application in applications:
-        with timed(report, f"IS[{label}]"):
-            universe = StoreUniverse.from_reachable(
-                application.program,
-                [initial_config(initial_global)],
-                max_configs=max_configs,
-            ).with_context(GhostContext(GHOST))
-            result = application.check(universe, jobs=jobs, fail_fast=fail_fast)
-        report.is_results.append((label, result))
-        final_program = application.apply_and_drop()
+    with tracer.scope(name) if tracer is not None else nullcontext():
+        for label, application in applications:
+            with timed(report, f"IS[{label}]", tracer=tracer):
+                universe = StoreUniverse.from_reachable(
+                    application.program,
+                    [initial_config(initial_global)],
+                    max_configs=max_configs,
+                ).with_context(GhostContext(GHOST))
+                with (
+                    tracer.scope(f"IS[{label}]")
+                    if tracer is not None
+                    else nullcontext()
+                ):
+                    result = application.check(
+                        universe, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+                    )
+            report.is_results.append((label, result))
+            final_program = application.apply_and_drop()
 
-    with timed(report, "sequential spec"):
-        summary = instance_summary(final_program, initial_global)
-        report.spec_ok = (
-            not summary.can_fail
-            and bool(summary.final_globals)
-            and all(spec_fn(final) for final in summary.final_globals)
-        )
-
-    if ground_truth:
-        with timed(report, "ground truth"):
-            report.ground_truth = check_program_refinement(
-                original,
-                final_program,
-                [(initial_global, EMPTY_STORE)],
-                max_configs=max_configs,
-                name="P ≼ P' (exhaustive)",
+        with timed(report, "sequential spec", tracer=tracer):
+            summary = instance_summary(final_program, initial_global)
+            report.spec_ok = (
+                not summary.can_fail
+                and bool(summary.final_globals)
+                and all(spec_fn(final) for final in summary.final_globals)
             )
+
+        if ground_truth:
+            with timed(report, "ground truth", tracer=tracer):
+                report.ground_truth = check_program_refinement(
+                    original,
+                    final_program,
+                    [(initial_global, EMPTY_STORE)],
+                    max_configs=max_configs,
+                    name="P ≼ P' (exhaustive)",
+                )
     return report
 
 
 class timed:
     """Context manager recording elapsed wall-clock into a report's timings.
 
+    When a ``tracer`` is supplied, the same interval is also recorded as a
+    ``phase`` span (at the tracer's current scope), so pipeline stages —
+    ``IS[label]``, ``sequential spec``, ``ground truth`` — frame the
+    obligation spans in an exported trace.
+
     >>> with timed(report, "IS"):
     ...     run_checks()
     """
 
-    def __init__(self, report: ProtocolReport, label: str):
+    def __init__(self, report: ProtocolReport, label: str, tracer=None):
         self.report = report
         self.label = label
+        self.tracer = tracer
 
     def __enter__(self) -> "timed":
         self._start = time.perf_counter()
@@ -248,3 +268,15 @@ class timed:
         self.report.timings[self.label] = (
             self.report.timings.get(self.label, 0.0) + elapsed
         )
+        if self.tracer is not None:
+            from ..obs.tracer import Span
+
+            self.tracer.add(
+                Span(
+                    name=self.label,
+                    category="phase",
+                    start=self._start,
+                    duration=elapsed,
+                    pid=os.getpid(),
+                )
+            )

@@ -398,6 +398,7 @@ def verify(
     ground_truth: bool = True,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
+    tracer=None,
 ) -> ProtocolReport:
     """Full pipeline for N-Buyer."""
     applications = make_sequentializations(n, prices, contributions)
@@ -411,4 +412,5 @@ def verify(
         ground_truth=ground_truth,
         jobs=jobs,
         fail_fast=fail_fast,
+        tracer=tracer,
     )

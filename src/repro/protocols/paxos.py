@@ -619,12 +619,15 @@ def verify_sampled(
     seed: int = 0,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
+    tracer=None,
 ) -> ProtocolReport:
     """Bounded variant for instances whose reachable state space defies
     enumeration (R=2, N=3 has ~6·10^5 configurations): the IS conditions
     are checked over a universe harvested from random-scheduler walks.
     A PASS is a bounded check; the exhaustive guarantee comes from the
     smaller instances covered by :func:`verify` (see EXPERIMENTS.md)."""
+    from contextlib import nullcontext
+
     from ..core.context import GhostContext
     from ..core.explore import instance_summary
     from ..core.semantics import initial_config
@@ -637,13 +640,23 @@ def verify_sampled(
         {"rounds": rounds, "nodes": num_nodes, "walks": walks, "seed": seed},
     )
     init = initial_config(initial_global(rounds, num_nodes))
-    with timed(report, "IS[Paxos]"):
+    with timed(report, "IS[Paxos]", tracer=tracer):
         universe = StoreUniverse.from_random_walks(
             application.program, [init], walks=walks, seed=seed
         ).with_context(GhostContext(GHOST))
-        report.is_results.append(
-            ("Paxos", application.check(universe, jobs=jobs, fail_fast=fail_fast))
-        )
+        with (
+            tracer.scope("paxos (sampled)/IS[Paxos]")
+            if tracer is not None
+            else nullcontext()
+        ):
+            report.is_results.append(
+                (
+                    "Paxos",
+                    application.check(
+                        universe, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+                    ),
+                )
+            )
     with timed(report, "sequential spec"):
         summary = instance_summary(
             application.apply_and_drop(), initial_global(rounds, num_nodes)
@@ -664,6 +677,7 @@ def verify(
     max_configs: Optional[int] = None,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
+    tracer=None,
 ) -> ProtocolReport:
     """Full pipeline for Paxos.
 
@@ -682,4 +696,5 @@ def verify(
         max_configs=max_configs,
         jobs=jobs,
         fail_fast=fail_fast,
+        tracer=tracer,
     )

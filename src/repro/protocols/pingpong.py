@@ -315,6 +315,7 @@ def verify(
     ground_truth: bool = True,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
+    tracer=None,
 ) -> ProtocolReport:
     """Full pipeline for Ping-Pong."""
     application = make_sequentialization(rounds)
@@ -328,4 +329,5 @@ def verify(
         ground_truth=ground_truth,
         jobs=jobs,
         fail_fast=fail_fast,
+        tracer=tracer,
     )

@@ -219,6 +219,7 @@ def verify(
     ground_truth: bool = True,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
+    tracer=None,
 ) -> ProtocolReport:
     """Full pipeline for Producer-Consumer."""
     application = make_sequentialization(bound)
@@ -232,4 +233,5 @@ def verify(
         ground_truth=ground_truth,
         jobs=jobs,
         fail_fast=fail_fast,
+        tracer=tracer,
     )

@@ -472,6 +472,7 @@ def verify(
     ground_truth: bool = True,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
+    tracer=None,
 ) -> ProtocolReport:
     """Full pipeline for two-phase commit."""
     applications = make_sequentializations(n)
@@ -485,4 +486,5 @@ def verify(
         ground_truth=ground_truth,
         jobs=jobs,
         fail_fast=fail_fast,
+        tracer=tracer,
     )

@@ -112,14 +112,28 @@ def test_jobs_within_cpu_count_do_not_warn():
 
 
 def test_make_scheduler_is_serial_for_one_core():
-    import warnings
-
     assert isinstance(make_scheduler(None), SerialScheduler)
     assert isinstance(make_scheduler(1), SerialScheduler)
-    with warnings.catch_warnings():
-        # On a single-CPU host make_scheduler(2) clamps (and warns).
-        warnings.simplefilter("ignore", RuntimeWarning)
-        assert isinstance(make_scheduler(2), ProcessPoolScheduler)
+
+
+def test_make_scheduler_clamp_warning_is_deterministic():
+    """``make_scheduler(2)`` warns exactly when the host has fewer than two
+    CPUs. Capturing it explicitly (instead of ``simplefilter("ignore")``)
+    keeps the suite warning-clean under ``-W error`` on 1–2 core CI
+    runners *and* proves the warning fires where it should."""
+    import warnings
+
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            scheduler = make_scheduler(2)
+        assert scheduler.jobs == cpus
+    else:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            scheduler = make_scheduler(2)
+        assert scheduler.jobs == 2
+    assert isinstance(scheduler, ProcessPoolScheduler)
 
 
 def test_single_worker_pool_degrades_to_serial(monkeypatch):

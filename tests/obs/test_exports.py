@@ -1,0 +1,207 @@
+"""Exporter contracts: Chrome trace schema, metrics aggregates, summary
+rendering, and the CLI surface (``--trace`` / ``--metrics``).
+
+The Chrome checks validate what ``chrome://tracing``/Perfetto actually
+require of a ``trace_event`` file: a ``traceEvents`` array whose complete
+events carry ``name``/``ph``/``ts``/``dur``/``pid``/``tid`` with integer
+microsecond timestamps. The metrics checks pin the acceptance criterion:
+aggregate totals equal the engine's merged evaluation counts exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.metrics import trace_checked_by_scope
+from repro.core import initial_config
+from repro.core.context import GhostContext
+from repro.core.universe import StoreUniverse
+from repro.obs import (
+    Tracer,
+    chrome_trace,
+    metrics_payload,
+    render_summary,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.protocols import pingpong, prodcons
+from repro.protocols.common import GHOST
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+@pytest.fixture(scope="module")
+def traced_check():
+    app = pingpong.make_sequentialization(2)
+    init = initial_config(pingpong.initial_global(2))
+    universe = StoreUniverse.from_reachable(app.program, [init]).with_context(
+        GhostContext(GHOST)
+    )
+    tracer = Tracer()
+    with tracer.scope("ping-pong"):
+        with tracer.scope("IS[Ping]"):
+            result = app.check(universe, jobs=1, tracer=tracer)
+    return tracer, result
+
+
+# --------------------------------------------------------------------- #
+# Chrome trace_event schema
+# --------------------------------------------------------------------- #
+
+
+def test_chrome_trace_schema(traced_check):
+    tracer, result = traced_check
+    document = chrome_trace(tracer)
+    events = document["traceEvents"]
+    assert isinstance(events, list)
+    complete = [e for e in events if e["ph"] == "X"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    # >= 1 span per discharged obligation (acceptance criterion).
+    assert len(complete) >= result.num_obligations
+    for event in complete:
+        assert isinstance(event["name"], str) and event["name"]
+        assert isinstance(event["ts"], int) and event["ts"] >= 0
+        assert isinstance(event["dur"], int) and event["dur"] >= 0
+        assert isinstance(event["pid"], int)
+        assert isinstance(event["tid"], int)
+        assert "args" in event
+    # One process_name metadata record per distinct PID.
+    named = {e["pid"] for e in metadata if e["name"] == "process_name"}
+    assert named == {e["pid"] for e in complete}
+
+
+def test_chrome_trace_timestamps_are_normalized(traced_check):
+    tracer, _ = traced_check
+    events = [e for e in chrome_trace(tracer)["traceEvents"] if e["ph"] == "X"]
+    assert min(e["ts"] for e in events) == 0
+
+
+def test_chrome_trace_obligation_args(traced_check):
+    tracer, result = traced_check
+    events = [
+        e
+        for e in chrome_trace(tracer)["traceEvents"]
+        if e["ph"] == "X" and e["cat"] == "obligation"
+    ]
+    assert sum(e["args"]["checked"] for e in events) == result.total_checked
+    for event in events:
+        assert event["args"]["condition"] in result.conditions
+        assert event["args"]["holds"] is True
+        assert event["args"]["scope"] == "ping-pong/IS[Ping]"
+
+
+def test_write_chrome_trace_round_trips(tmp_path, traced_check):
+    tracer, _ = traced_check
+    path = write_chrome_trace(tracer, tmp_path / "trace.json")
+    loaded = json.loads(path.read_text())
+    assert loaded == chrome_trace(tracer)
+
+
+# --------------------------------------------------------------------- #
+# Metrics payload
+# --------------------------------------------------------------------- #
+
+
+def test_metrics_totals_equal_engine_counts(traced_check):
+    tracer, result = traced_check
+    payload = metrics_payload(tracer)
+    assert payload["totals"]["checked"] == result.total_checked
+    assert payload["totals"]["obligations"] == result.num_obligations
+    assert payload["totals"]["skipped"] == 0
+    per_condition = payload["per_condition"]
+    for name, condition in result.conditions.items():
+        entry = per_condition[f"ping-pong/IS[Ping]::{name}"]
+        assert entry["checked"] == condition.checked
+
+
+def test_metrics_per_scope_groups_by_protocol(traced_check):
+    tracer, result = traced_check
+    payload = metrics_payload(tracer)
+    assert list(payload["per_scope"]) == ["ping-pong"]
+    assert payload["per_scope"]["ping-pong"]["checked"] == result.total_checked
+    assert trace_checked_by_scope(tracer) == {
+        "ping-pong": result.total_checked
+    }
+
+
+def test_metrics_payload_is_json_serializable(tmp_path, traced_check):
+    tracer, _ = traced_check
+    path = write_metrics(tracer, tmp_path / "metrics.json")
+    loaded = json.loads(path.read_text())
+    assert loaded["schema"] == "repro.obs/metrics/v1"
+    assert loaded["per_obligation"], "per-obligation rows missing"
+    row = loaded["per_obligation"][0]
+    for key in ("name", "condition", "seconds", "checked", "pid", "backend"):
+        assert key in row
+
+
+def test_render_summary_lists_every_condition(traced_check):
+    tracer, result = traced_check
+    summary = render_summary(tracer)
+    for name in result.conditions:
+        assert name in summary
+    assert "total" in summary
+    assert render_summary(Tracer()) == "(no obligation spans recorded)"
+
+
+# --------------------------------------------------------------------- #
+# Protocol pipelines and the CLI
+# --------------------------------------------------------------------- #
+
+
+def test_verify_pipeline_records_phases_and_scopes():
+    tracer = Tracer()
+    report = prodcons.verify(bound=2, tracer=tracer)
+    assert report.ok
+    phases = {s.name for s in tracer.phase_spans()}
+    assert "sequential spec" in phases
+    assert any(name.startswith("IS[") for name in phases)
+    scopes = {s.scope for s in tracer.obligation_spans()}
+    assert all(s.startswith("producer-consumer/IS[") for s in scopes)
+
+
+def test_verify_without_tracer_is_identical():
+    """Differential acceptance check at the pipeline level: a traced run's
+    report content matches an untraced run's exactly."""
+    plain = prodcons.verify(bound=2)
+    traced = prodcons.verify(bound=2, tracer=Tracer())
+    assert traced.summary() == plain.summary()
+    assert [label for label, _ in traced.is_results] == [
+        label for label, _ in plain.is_results
+    ]
+    for (_, a), (_, b) in zip(traced.is_results, plain.is_results):
+        assert a.conditions == b.conditions
+
+
+@pytest.mark.slow
+def test_cli_verify_writes_trace_and_metrics(tmp_path):
+    trace = tmp_path / "out_trace.json"
+    metrics = tmp_path / "out_metrics.json"
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "verify",
+            "pingpong",
+            "--trace",
+            str(trace),
+            "--metrics",
+            str(metrics),
+        ],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+        env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0, completed.stderr
+    document = json.loads(trace.read_text())
+    assert document["traceEvents"]
+    payload = json.loads(metrics.read_text())
+    assert payload["totals"]["checked"] > 0
+    assert "trace: wrote" in completed.stdout

@@ -1,0 +1,105 @@
+"""Sanity checks on the CI pipeline definition.
+
+CI config rots silently — a typo'd job name or an unpinned action only
+fails on the forge, after push. These tests lint ``ci.yml`` locally: the
+jobs the README badge implies must exist, every third-party action must
+be version-pinned, and the commands must reference tox environments and
+scripts that actually exist in this repo.
+"""
+
+from __future__ import annotations
+
+import configparser
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+ROOT = Path(__file__).resolve().parent.parent
+WORKFLOW = ROOT / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+def _steps(workflow, job):
+    return workflow["jobs"][job]["steps"]
+
+
+def _run_commands(workflow):
+    for job in workflow["jobs"].values():
+        for step in job["steps"]:
+            if "run" in step:
+                yield step["run"]
+
+
+def test_expected_jobs_exist(workflow):
+    assert set(workflow["jobs"]) == {
+        "lint",
+        "fast",
+        "full",
+        "bench-smoke",
+        "trace-artifact",
+    }
+
+
+def test_every_action_is_version_pinned(workflow):
+    for name, job in workflow["jobs"].items():
+        for step in job["steps"]:
+            uses = step.get("uses")
+            if uses is None:
+                continue
+            action, _, version = uses.partition("@")
+            assert version, f"{name}: unpinned action {uses!r}"
+            assert version.startswith("v"), f"{name}: loose pin {uses!r}"
+            assert action.startswith("actions/"), (
+                f"{name}: unexpected third-party action {uses!r}"
+            )
+
+
+def test_fast_lane_covers_supported_pythons(workflow):
+    matrix = workflow["jobs"]["fast"]["strategy"]["matrix"]
+    assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+
+
+def test_full_suite_gated_on_lint_and_fast(workflow):
+    assert set(workflow["jobs"]["full"]["needs"]) == {"lint", "fast"}
+    assert any('-m ""' in cmd for cmd in _run_commands(workflow))
+
+
+def test_tox_environments_referenced_by_ci_exist(workflow):
+    tox = configparser.ConfigParser()
+    tox.read(ROOT / "tox.ini")
+    referenced = []
+    for cmd in _run_commands(workflow):
+        tokens = cmd.split()
+        if "tox" not in tokens:
+            continue
+        for flag, value in zip(tokens, tokens[1:]):
+            if flag == "-e":
+                referenced.extend(value.split(","))
+    assert referenced, "no tox environments referenced by ci.yml"
+    for env in referenced:
+        assert tox.has_section(f"testenv:{env}"), (
+            f"ci.yml uses tox env {env!r} missing from tox.ini"
+        )
+
+
+def test_smoke_and_trace_scripts_exist(workflow):
+    commands = list(_run_commands(workflow))
+    assert any("bench_obligations.py --smoke" in cmd for cmd in commands)
+    assert any("--trace" in cmd and "--metrics" in cmd for cmd in commands)
+    assert (ROOT / "benchmarks" / "bench_obligations.py").exists()
+
+
+def test_artifact_upload_requires_files(workflow):
+    uploads = [
+        step
+        for step in _steps(workflow, "trace-artifact")
+        if step.get("uses", "").startswith("actions/upload-artifact")
+    ]
+    assert len(uploads) == 1
+    assert uploads[0]["with"]["if-no-files-found"] == "error"
