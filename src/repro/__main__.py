@@ -2,18 +2,31 @@
 
 Commands
 --------
-``table1 [--jobs N] [--stats] [--fail-fast] [--trace FILE] [--metrics FILE]``
+``table1 [--jobs N] [--stats] [--fail-fast] [--max-configs N] [--explain]
+[--trace FILE] [--metrics FILE]``
     Regenerate the Table 1 analogue (runs all seven verifications).
     ``--jobs`` discharges the IS obligations over N worker processes;
     ``--stats`` adds per-obligation wall-time / enumeration statistics;
     ``--fail-fast`` skips obligations downstream of a failure;
+    ``--max-configs`` bounds every exploration (blown budgets render as a
+    BUDGET row instead of a traceback); ``--explain`` shrinks and
+    replay-confirms the counterexamples of every failed row;
     ``--trace`` writes a Chrome ``trace_event`` JSON (open in
     ``chrome://tracing`` or Perfetto) and ``--metrics`` a flat metrics
     JSON, both covering every discharged obligation.
-``verify <protocol> [--jobs N] [--fail-fast] [--trace FILE] [--metrics FILE]``
+``verify <protocol> [--jobs N] [--fail-fast] [--max-configs N] [--explain]
+[--trace FILE] [--metrics FILE]``
     Run one protocol's pipeline at its default instance parameters and
     print the report. Protocols: broadcast, pingpong, prodcons, nbuyer,
     changroberts, twophase, paxos.
+``explain <fixture> [--jobs N] [--json FILE]``
+    Run a seeded failing fixture (``repro.diagnose.fixtures``) end to end
+    and print the diagnosis: every counterexample minimized by
+    delta-debugging, each shrink step replay-confirmed against the
+    violated obligation predicate. ``--json`` also writes the
+    machine-readable failure report (schema ``repro.obs/failure/v1``);
+    ``--list`` enumerates the fixtures. Exit code 0 iff every witness was
+    replay-confirmed.
 ``list``
     List the available protocols with their Table 1 #IS counts.
 """
@@ -52,6 +65,24 @@ def _export_trace(tracer, args) -> None:
         print(f"metrics: wrote {path}")
 
 
+def _explain_report(report) -> None:
+    """Shrink, replay-confirm, and print every failed IS check's
+    counterexamples (the ``--explain`` flag of verify/table1)."""
+    from .diagnose import explain_result
+    from .diagnose.render import render_explanation
+
+    results = dict(report.is_results)
+    for label, application, _universe in report.explain_targets:
+        result = results.get(label)
+        if result is None or result.holds:
+            continue
+        explanation = explain_result(
+            application, result, target=f"{report.name} IS[{label}]"
+        )
+        print()
+        print(render_explanation(explanation))
+
+
 def _cmd_table1(args) -> int:
     from .analysis import (
         build_table1,
@@ -61,11 +92,20 @@ def _cmd_table1(args) -> int:
     )
 
     tracer = _make_tracer(args)
-    rows = build_table1(jobs=args.jobs, fail_fast=args.fail_fast, tracer=tracer)
+    rows = build_table1(
+        max_configs=args.max_configs,
+        jobs=args.jobs,
+        fail_fast=args.fail_fast,
+        tracer=tracer,
+    )
     print(render_table1(rows))
     if args.stats:
         print()
         print(render_obligation_stats(rows))
+    if args.explain:
+        for row in rows:
+            if row.report is not None and not row.ok:
+                _explain_report(row.report)
     if tracer is not None:
         verify_trace_consistency(rows, tracer)
         _export_trace(tracer, args)
@@ -81,11 +121,44 @@ def _cmd_verify(args) -> int:
               f"{', '.join(sorted(ALL_PROTOCOLS))}", file=sys.stderr)
         return 2
     tracer = _make_tracer(args)
-    report = module.verify(jobs=args.jobs, fail_fast=args.fail_fast, tracer=tracer)
+    report = module.verify(
+        max_configs=args.max_configs,
+        jobs=args.jobs,
+        fail_fast=args.fail_fast,
+        tracer=tracer,
+    )
     print(report.summary())
+    if args.explain:
+        _explain_report(report)
     if tracer is not None:
         _export_trace(tracer, args)
     return 0 if report.ok else 1
+
+
+def _cmd_explain(args) -> int:
+    from .diagnose import FIXTURES, explain_fixture
+    from .diagnose.render import render_explanation
+
+    if args.list or args.fixture is None:
+        for name, fixture in sorted(FIXTURES.items()):
+            print(f"  {name:<22} {fixture.title}")
+        return 0
+    if args.fixture not in FIXTURES:
+        print(f"unknown fixture {args.fixture!r}; try: "
+              f"{', '.join(sorted(FIXTURES))}", file=sys.stderr)
+        return 2
+    fixture = FIXTURES[args.fixture]
+    print(f"fixture: {fixture.name} — {fixture.title}")
+    print(fixture.description)
+    print()
+    explanation = explain_fixture(args.fixture, jobs=args.jobs)
+    print(render_explanation(explanation))
+    if args.json:
+        from .obs import write_failure_report
+
+        path = write_failure_report(explanation, args.json)
+        print(f"failure report: wrote {path}")
+    return 0 if explanation.all_confirmed else 1
 
 
 def _cmd_list(_args) -> int:
@@ -126,6 +199,19 @@ def main(argv=None) -> int:
         help="skip obligations (transitively) downstream of a failed one",
     )
     table1.add_argument(
+        "--max-configs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exploration budget per instance; blown budgets render as "
+        "BUDGET rows instead of tracebacks",
+    )
+    table1.add_argument(
+        "--explain",
+        action="store_true",
+        help="shrink and replay-confirm the counterexamples of failed rows",
+    )
+    table1.add_argument(
         "--trace",
         metavar="FILE",
         default=None,
@@ -152,6 +238,20 @@ def main(argv=None) -> int:
         help="skip obligations (transitively) downstream of a failed one",
     )
     verify.add_argument(
+        "--max-configs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exploration budget; a blown budget reports BUDGET instead "
+        "of a traceback",
+    )
+    verify.add_argument(
+        "--explain",
+        action="store_true",
+        help="shrink and replay-confirm the counterexamples of failed "
+        "IS checks",
+    )
+    verify.add_argument(
         "--trace",
         metavar="FILE",
         default=None,
@@ -163,11 +263,42 @@ def main(argv=None) -> int:
         default=None,
         help="write a flat metrics JSON (per-obligation and aggregates)",
     )
+    explain = sub.add_parser(
+        "explain",
+        help="diagnose a seeded failing fixture: shrink + replay witnesses",
+    )
+    explain.add_argument(
+        "fixture",
+        nargs="?",
+        default=None,
+        help="fixture name (see --list); omit to list fixtures",
+    )
+    explain.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="worker processes for obligation discharge (default: serial)",
+    )
+    explain.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the failure report as JSON (repro.obs/failure/v1)",
+    )
+    explain.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available fixtures",
+    )
     sub.add_parser("list", help="list protocols")
     args = parser.parse_args(argv)
-    return {"table1": _cmd_table1, "verify": _cmd_verify, "list": _cmd_list}[
-        args.command
-    ](args)
+    return {
+        "table1": _cmd_table1,
+        "verify": _cmd_verify,
+        "explain": _cmd_explain,
+        "list": _cmd_list,
+    }[args.command](args)
 
 
 if __name__ == "__main__":

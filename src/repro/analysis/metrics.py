@@ -91,7 +91,10 @@ def verify_trace_consistency(rows, tracer) -> None:
     with this tracer attached. The obligation spans' summed ``checked``
     counters must equal the rows' summed ``num_checks`` (which come from
     the merged condition maps), and the span count must equal the rows'
-    summed ``num_obligations``. The CLI runs this after every
+    summed ``num_obligations``. Only IS obligations are in scope on both
+    sides: the ground-truth program-refinement check is not an obligation
+    and its ``checked`` counter (configurations explored, not store pairs)
+    never enters ``num_checks``. The CLI runs this after every
     ``--trace``/``--metrics`` export, so a published metrics file is
     guaranteed to agree with the table it accompanies; a mismatch is an
     engine accounting bug, not a formatting problem — hence an assertion,

@@ -43,6 +43,9 @@ class Table1Row:
     loc_impl: int
     time_seconds: float
     ok: bool
+    #: ``OK``/``FAILED``/``BUDGET`` — the report's three-valued verdict
+    #: (BUDGET: the instance blew ``max_configs`` and was not decided).
+    status: str = "OK"
     #: Engine statistics: obligations discharged / stores enumerated across
     #: the row's IS applications (0 when produced by the inline checker).
     num_obligations: int = 0
@@ -65,8 +68,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Broadcast consensus",
         broadcast,
-        lambda jobs=None, fail_fast=False, tracer=None: broadcast.verify(
-            n=3, iterated=True, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: broadcast.verify(
+            n=3, iterated=True, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (
             broadcast.make_invariant,
@@ -82,8 +85,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Ping-Pong",
         pingpong,
-        lambda jobs=None, fail_fast=False, tracer=None: pingpong.verify(
-            rounds=3, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: pingpong.verify(
+            rounds=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (
             pingpong.make_abstractions,
@@ -96,8 +99,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Producer-Consumer",
         prodcons,
-        lambda jobs=None, fail_fast=False, tracer=None: prodcons.verify(
-            bound=4, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: prodcons.verify(
+            bound=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (
             prodcons.make_consumer_abs,
@@ -110,8 +113,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "N-Buyer",
         nbuyer,
-        lambda jobs=None, fail_fast=False, tracer=None: nbuyer.verify(
-            n=3, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: nbuyer.verify(
+            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (nbuyer.make_measure, nbuyer.make_sequentializations),
         (nbuyer.make_atomic, nbuyer.initial_global),
@@ -119,8 +122,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Chang-Roberts",
         changroberts,
-        lambda jobs=None, fail_fast=False, tracer=None: changroberts.verify(
-            n=4, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: changroberts.verify(
+            n=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (
             changroberts.make_handle_abs,
@@ -135,8 +138,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Two-phase commit",
         twophase,
-        lambda jobs=None, fail_fast=False, tracer=None: twophase.verify(
-            n=3, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: twophase.verify(
+            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (twophase.make_measure, twophase.make_sequentializations),
         (twophase.make_atomic, twophase.initial_global),
@@ -144,8 +147,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Paxos",
         paxos,
-        lambda jobs=None, fail_fast=False, tracer=None: paxos.verify(
-            rounds=2, num_nodes=2, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: paxos.verify(
+            rounds=2, num_nodes=2, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
         ),
         (
             paxos.make_abstractions,
@@ -160,6 +163,7 @@ TABLE1_REGISTRY: List[_Entry] = [
 
 def build_table1(
     entries: Sequence[_Entry] = None,
+    max_configs: Optional[int] = None,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
@@ -174,10 +178,14 @@ def build_table1(
     :class:`repro.obs.Tracer`) threads through every pipeline: each
     protocol scopes its own spans, so one tracer accumulates the whole
     table's obligations for export (``python -m repro table1 --trace``).
+    ``max_configs`` bounds every exploration; a row whose instance blows
+    the budget gets status BUDGET instead of aborting the sweep.
     """
     rows: List[Table1Row] = []
     for entry in entries if entries is not None else TABLE1_REGISTRY:
-        report = entry.verify(jobs=jobs, fail_fast=fail_fast, tracer=tracer)
+        report = entry.verify(
+            max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        )
         rows.append(
             Table1Row(
                 example=entry.name,
@@ -187,6 +195,7 @@ def build_table1(
                 loc_impl=source_loc(entry.implementation),
                 time_seconds=report.total_time,
                 ok=report.ok,
+                status=report.status,
                 num_obligations=sum(
                     r.num_obligations for _, r in report.is_results
                 ),
@@ -211,7 +220,7 @@ def render_table1(rows: Sequence[Table1Row]) -> str:
             f"{row.example:<22} {row.num_is:>4} {row.loc_total:>10} "
             f"{row.loc_is:>7} {row.loc_impl:>9} {row.time_seconds:>9.2f} "
             f"{row.num_obligations:>5} {row.num_checks:>9}  "
-            f"{'OK' if row.ok else 'FAIL':<6}"
+            f"{row.status:<6}"
         )
     return "\n".join(lines)
 

@@ -45,7 +45,23 @@ __all__ = [
 
 
 class ExplorationBudgetExceeded(RuntimeError):
-    """Raised when exploration exceeds its configuration budget."""
+    """Raised when exploration exceeds its configuration budget.
+
+    Carries what the aborted search had already learned: ``explored`` is
+    the number of distinct configurations reached before the budget blew
+    (always ``limit + 1`` — the overflowing configuration is counted) and
+    ``limit`` is the budget itself. Callers report this as a BUDGET
+    verdict (see ``repro.protocols.common`` and ``repro.analysis.table1``)
+    rather than letting the traceback discard the partial count.
+    """
+
+    def __init__(self, explored: int, limit: int):
+        super().__init__(
+            f"exploration budget exceeded: {explored} reachable "
+            f"configurations (limit {limit})"
+        )
+        self.explored = explored
+        self.limit = limit
 
 
 @dataclass
@@ -97,9 +113,7 @@ def explore(
             if step.target not in reachable:
                 reachable.add(step.target)
                 if max_configs is not None and len(reachable) > max_configs:
-                    raise ExplorationBudgetExceeded(
-                        f"more than {max_configs} reachable configurations"
-                    )
+                    raise ExplorationBudgetExceeded(len(reachable), max_configs)
                 frontier.append(step.target)
         if not progressed:
             deadlocks.add(config)
@@ -114,6 +128,9 @@ class InstanceSummary:
     initial: Config
     can_fail: bool
     final_globals: Set[Store]
+    #: Distinct configurations the exhaustive search visited — the honest
+    #: work measure program-level refinement checks report as ``checked``.
+    num_configs: int = 0
 
 
 def instance_summary(
@@ -125,7 +142,9 @@ def instance_summary(
     """Explore a single initialized instance ``(g, {(ℓ, Main)})``."""
     init = initial_config(global_store, main_locals)
     result = explore(program, [init], max_configs=max_configs)
-    return InstanceSummary(init, result.can_fail, result.final_globals)
+    return InstanceSummary(
+        init, result.can_fail, result.final_globals, result.num_configs
+    )
 
 
 def good_and_trans(

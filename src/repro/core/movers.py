@@ -24,6 +24,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, Iterable, Tuple
 
+from ..diagnose.witness import COUNTEREXAMPLE_KEEP, CommutationWitness, GateWitness
 from .action import Action
 from .cache import CachedAction, active_cache
 from .program import Program
@@ -109,7 +110,18 @@ def _gate_forward_preserved(
                 for tr in x.transitions(state_x):
                     result.checked += 1
                     if not l.gate(combine(tr.new_global, ll)):
-                        _fail(result, "gate lost", (g, ll, lx, tr))
+                        _fail(
+                            result,
+                            CommutationWitness(
+                                reason="gate lost",
+                                check="forward-preservation",
+                                actors=(l.name, x.name),
+                                global_store=g,
+                                left_locals=ll,
+                                right_locals=lx,
+                                first_transition=tr,
+                            ),
+                        )
                         if fail_fast:
                             return result
     return result
@@ -133,7 +145,18 @@ def _gate_backward_preserved(
                     if x.gate(combine(tr.new_global, lx)) and not x.gate(
                         combine(g, lx)
                     ):
-                        _fail(result, "gate introduced", (g, ll, lx, tr))
+                        _fail(
+                            result,
+                            CommutationWitness(
+                                reason="gate introduced",
+                                check="backward-preservation",
+                                actors=(l.name, x.name),
+                                global_store=g,
+                                left_locals=ll,
+                                right_locals=lx,
+                                first_transition=tr,
+                            ),
+                        )
                         if fail_fast:
                             return result
     return result
@@ -162,8 +185,16 @@ def _commutes_left(
                         if not _has_swapped(l, x, g, ll, lx, tr_x, tr_l):
                             _fail(
                                 result,
-                                "no matching l-then-x execution",
-                                (g, ll, lx, tr_x, tr_l),
+                                CommutationWitness(
+                                    reason="no matching l-then-x execution",
+                                    check="commutation",
+                                    actors=(l.name, x.name),
+                                    global_store=g,
+                                    left_locals=ll,
+                                    right_locals=lx,
+                                    first_transition=tr_x,
+                                    second_transition=tr_l,
+                                ),
                             )
                             if fail_fast:
                                 return result
@@ -196,7 +227,15 @@ def _non_blocking(
                 continue
             result.checked += 1
             if not l.transitions(state):
-                _fail(result, "blocks in gate-satisfying store", state)
+                _fail(
+                    result,
+                    GateWitness(
+                        reason="blocks in gate-satisfying store",
+                        check="non-blocking",
+                        actors=(l.name,),
+                        state=state,
+                    ),
+                )
                 if fail_fast:
                     return result
     return result
@@ -259,8 +298,9 @@ def _combine_conditions(name: str, conditions: Dict[str, CheckResult]) -> CheckR
         if not condition.holds:
             result.holds = False
             result.counterexamples.extend(
-                (f"{condition.name}: {d}", w) for d, w in condition.counterexamples
+                cx.with_prefix(condition.name) for cx in condition.counterexamples
             )
+    del result.counterexamples[COUNTEREXAMPLE_KEEP:]
     return result
 
 
@@ -321,8 +361,9 @@ def is_left_mover_wrt_program(
         if not sub.holds:
             result.holds = False
             result.counterexamples.extend(
-                (f"wrt {name}: {d}", w) for d, w in sub.counterexamples
+                cx.with_prefix(f"wrt {name}") for cx in sub.counterexamples
             )
+    del result.counterexamples[COUNTEREXAMPLE_KEEP:]
     return result
 
 

@@ -23,14 +23,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Tuple
 
+from ..diagnose.witness import (
+    COUNTEREXAMPLE_KEEP,
+    Counterexample,
+    GateWitness,
+    MissingTransitionWitness,
+)
 from .action import Action
-from .explore import good_and_trans
+from .explore import instance_summary
 from .program import Program
 from .store import Store, combine
 from .universe import StoreUniverse
 
 __all__ = [
     "CheckResult",
+    "COUNTEREXAMPLE_KEEP",
     "check_action_refinement",
     "check_program_refinement",
 ]
@@ -40,13 +47,17 @@ __all__ = [
 class CheckResult:
     """Outcome of an exhaustive check; ``holds`` plus counterexamples.
 
-    ``counterexamples`` is a list of human-readable descriptions paired with
-    the offending objects; diagnostics only (tests match on ``holds``).
+    ``counterexamples`` is a list of typed
+    :class:`~repro.diagnose.witness.Counterexample` objects pinning the
+    offending stores/transitions; each still unpacks as the legacy
+    ``(description, payload)`` pair. The list is capped at
+    :data:`COUNTEREXAMPLE_KEEP` per result — the single truncation rule
+    every merge path shares, so backends agree on what is reported.
     """
 
     name: str
     holds: bool
-    counterexamples: List[Tuple[str, object]] = field(default_factory=list)
+    counterexamples: List[Counterexample] = field(default_factory=list)
     checked: int = 0
 
     def __bool__(self) -> bool:
@@ -58,10 +69,14 @@ class CheckResult:
         return f"CheckResult({self.name}: {status}, {self.checked} checked{extra})"
 
 
-def _fail(result: CheckResult, description: str, witness: object, keep: int = 5) -> None:
+def _fail(
+    result: CheckResult,
+    witness: Counterexample,
+    keep: int = COUNTEREXAMPLE_KEEP,
+) -> None:
     result.holds = False
     if len(result.counterexamples) < keep:
-        result.counterexamples.append((description, witness))
+        result.counterexamples.append(witness)
 
 
 def check_action_refinement(
@@ -88,7 +103,15 @@ def check_action_refinement(
         concrete_ok = concrete.gate(state)
         # Condition (1): ρ2 ⊆ ρ1.
         if abstract_ok and not concrete_ok:
-            _fail(result, "abstract gate holds where concrete gate fails", state)
+            _fail(
+                result,
+                GateWitness(
+                    reason="abstract gate holds where concrete gate fails",
+                    check="gate-inclusion",
+                    actors=(concrete.name, abstract.name),
+                    state=state,
+                ),
+            )
             continue
         if not abstract_ok:
             # ρ2 ◦ τ1 is empty here; nothing to check.
@@ -99,8 +122,13 @@ def check_action_refinement(
             if tr not in abstract_outcomes:
                 _fail(
                     result,
-                    "concrete transition missing from abstraction",
-                    (state, tr),
+                    MissingTransitionWitness(
+                        reason="concrete transition missing from abstraction",
+                        check="transition-inclusion",
+                        actors=(concrete.name, abstract.name),
+                        state=state,
+                        transition=tr,
+                    ),
                 )
     return result
 
@@ -119,19 +147,47 @@ def check_program_refinement(
     IS rule is validated against in the test suite.
     """
     pairs = list(initial_stores)
-    good1, trans1 = good_and_trans(concrete, pairs, max_configs=max_configs)
-    good2, trans2 = good_and_trans(abstract, pairs, max_configs=max_configs)
+    explored = 0
+    good1, good2 = set(), set()
+    trans1, trans2 = set(), set()
+    origin = {}
+    for good, trans, program in ((good1, trans1, concrete), (good2, trans2, abstract)):
+        for g, l in pairs:
+            summary = instance_summary(program, g, l, max_configs)
+            explored += summary.num_configs
+            sigma = combine(g, l)
+            origin[sigma] = (g, l)
+            if not summary.can_fail:
+                good.add(sigma)
+            for final in summary.final_globals:
+                trans.add((sigma, final))
 
-    result = CheckResult(name, True, checked=len(pairs))
+    # ``checked`` counts configurations the exhaustive searches actually
+    # explored (2 programs x len(pairs) instances), matching the work
+    # measure of action-level checks — not the number of initial stores.
+    result = CheckResult(name, True, checked=explored)
     for g, l in pairs:
         sigma = combine(g, l)
         if sigma in good2 and sigma not in good1:
-            _fail(result, "Good(abstract) not included in Good(concrete)", sigma)
-    for sigma, final in trans1:
+            _fail(
+                result,
+                GateWitness(
+                    reason="Good(abstract) not included in Good(concrete)",
+                    check="good-inclusion",
+                    state=sigma,
+                    context=(g, l),
+                ),
+            )
+    for sigma, final in sorted(trans1, key=repr):
         if sigma in good2 and (sigma, final) not in trans2:
             _fail(
                 result,
-                "terminating behaviour of concrete not reproduced by abstract",
-                (sigma, final),
+                MissingTransitionWitness(
+                    reason="terminating behaviour of concrete not reproduced by abstract",
+                    check="trans-inclusion",
+                    state=sigma,
+                    final_global=final,
+                    context=origin[sigma],
+                ),
             )
     return result

@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..diagnose.witness import GateWitness, MissingTransitionWitness
 from .action import Action, PendingAsync, Transition
 from .cache import active_cache
 from .movers import is_left_mover, is_left_mover_wrt_program
@@ -456,7 +457,16 @@ class ISApplication:
                         continue
                     chosen = self.choice(sigma, t)
                     if chosen.action not in names or chosen not in t.created:
-                        _fail(result, "choice function selected an invalid PA", (sigma, t, chosen))
+                        _fail(
+                            result,
+                            GateWitness(
+                                reason="choice function selected an invalid PA",
+                                check="choice",
+                                actors=(chosen.action,),
+                                state=sigma,
+                                context=(t, chosen),
+                            ),
+                        )
                         continue
                     abstraction = abstraction_views[chosen.action]
                     state_a = combine(t.new_global, chosen.locals)
@@ -464,8 +474,14 @@ class ISApplication:
                     if not abstraction.gate(state_a):
                         _fail(
                             result,
-                            f"gate of α({chosen.action}) fails after I-transition",
-                            (sigma, t, chosen),
+                            GateWitness(
+                                reason=f"gate of α({chosen.action}) fails "
+                                "after I-transition",
+                                check="i3-gate",
+                                actors=(chosen.action,),
+                                state=sigma,
+                                context=(t, chosen),
+                            ),
                         )
                         continue
                     remaining = t.created.remove(chosen)
@@ -477,8 +493,15 @@ class ISApplication:
                         if composed not in outcome_set:
                             _fail(
                                 result,
-                                f"composition of I with α({chosen.action}) escapes τ_I",
-                                (sigma, t, chosen, tr_a),
+                                MissingTransitionWitness(
+                                    reason="composition of I with "
+                                    f"α({chosen.action}) escapes τ_I",
+                                    check="i3-composition",
+                                    actors=(chosen.action,),
+                                    state=sigma,
+                                    transition=tr_a,
+                                    context=(t, chosen),
+                                ),
                             )
         return result
 
@@ -580,8 +603,12 @@ class ISApplication:
                     if not decreasing:
                         _fail(
                             result,
-                            f"α({name}) cannot decrease the measure",
-                            (g, l),
+                            GateWitness(
+                                reason=f"α({name}) cannot decrease the measure",
+                                check="cooperation",
+                                actors=(name,),
+                                context=(g, l),
+                            ),
                         )
         return result
 

@@ -1,0 +1,71 @@
+"""Counterexample diagnostics: typed witnesses, shrinking, replay, reports.
+
+``repro.diagnose`` turns a FAIL into something a human can act on:
+
+* :mod:`repro.diagnose.witness` — the typed :class:`Counterexample`
+  hierarchy every checker now emits (imported eagerly; it is a leaf
+  module that ``repro.core`` depends on);
+* :mod:`repro.diagnose.replay` — rebuilds the violated predicate from a
+  witness and re-evaluates it, confirming the failure is real;
+* :mod:`repro.diagnose.shrink` — a delta-debugging minimizer that edits
+  witness stores/multisets and keeps only edits the replay still rejects;
+* :mod:`repro.diagnose.render` — terminal + JSON renderers;
+* :mod:`repro.diagnose.fixtures` — seeded-mutant protocols that fail on
+  purpose, for demos, tests, and the CI artifact job;
+* :mod:`repro.diagnose.explain` — the end-to-end pipeline behind the
+  ``repro explain`` CLI subcommand and ``--explain`` on verify/table1.
+
+Only the witness module is imported at package-import time: ``repro.core``
+modules import witness types from here, so everything that depends on
+``repro.core`` (replay, shrink, fixtures, ...) must load lazily.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+from .witness import (
+    COUNTEREXAMPLE_KEEP,
+    CommutationWitness,
+    Counterexample,
+    GateWitness,
+    MissingTransitionWitness,
+    SkippedMarker,
+)
+
+__all__ = [
+    "COUNTEREXAMPLE_KEEP",
+    "Counterexample",
+    "GateWitness",
+    "MissingTransitionWitness",
+    "CommutationWitness",
+    "SkippedMarker",
+    # lazily loaded:
+    "witness_size",
+    "shrink_witness",
+    "replay_witness",
+    "render_explanation",
+    "witness_to_json",
+    "explain_result",
+    "explain_fixture",
+    "FIXTURES",
+]
+
+_LAZY = {
+    "witness_size": "shrink",
+    "shrink_witness": "shrink",
+    "replay_witness": "replay",
+    "render_explanation": "render",
+    "witness_to_json": "render",
+    "explain_result": "explain",
+    "explain_fixture": "explain",
+    "FIXTURES": "fixtures",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    return getattr(importlib.import_module(f".{module}", __name__), name)

@@ -1,0 +1,134 @@
+"""The explain pipeline: check, replay-confirm, shrink, report.
+
+This is the orchestration layer behind ``repro explain`` and the
+``--explain`` flag of ``verify``/``table1``: given an
+:class:`~repro.core.sequentialize.ISApplication` and its (failed)
+:class:`~repro.core.sequentialize.ISResult`, it walks every
+counterexample of every failed condition and produces an
+:class:`Explanation` — for each witness, the original, a replay
+confirmation against the obligation predicate it violates, and a
+delta-debugged minimized version whose every shrink step was itself
+replay-confirmed. Skip markers (from ``fail_fast`` scheduling) are
+carried through unshrunk: they record scheduling decisions, not
+violations.
+
+Rendering lives in ``repro.diagnose.render`` (terminal text and the
+``repro.obs/failure/v1`` JSON payload); the seeded failing fixtures this
+pipeline is demonstrated on live in ``repro.diagnose.fixtures``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.sequentialize import ISApplication, ISResult
+from .fixtures import FIXTURES
+from .replay import replay_witness
+from .shrink import ShrinkStep, shrink_witness, witness_size
+from .witness import Counterexample, SkippedMarker
+
+__all__ = ["WitnessReport", "Explanation", "explain_result", "explain_fixture"]
+
+
+@dataclass(frozen=True)
+class WitnessReport:
+    """One counterexample, explained: original, minimized, provenance."""
+
+    condition: str
+    original: Counterexample
+    minimized: Counterexample
+    original_size: int
+    minimized_size: int
+    replay_confirmed: bool
+    steps: Tuple[ShrinkStep, ...] = ()
+    skipped: bool = False
+
+
+@dataclass
+class Explanation:
+    """A full diagnosis of one IS application's check outcome."""
+
+    target: str
+    holds: bool
+    conditions: Dict[str, bool] = field(default_factory=dict)
+    witnesses: List[WitnessReport] = field(default_factory=list)
+
+    @property
+    def all_confirmed(self) -> bool:
+        """Did every non-skipped witness replay as still-failing?"""
+        return all(r.replay_confirmed for r in self.witnesses if not r.skipped)
+
+
+def _explain_witness(
+    app: ISApplication, condition: str, cx: Counterexample
+) -> WitnessReport:
+    size = witness_size(cx)
+    if isinstance(cx, SkippedMarker) or cx.check == "skipped":
+        return WitnessReport(
+            condition=condition,
+            original=cx,
+            minimized=cx,
+            original_size=size,
+            minimized_size=size,
+            replay_confirmed=False,
+            skipped=True,
+        )
+
+    def still_fails(candidate: Counterexample) -> bool:
+        return replay_witness(app, condition, candidate)
+
+    try:
+        confirmed = bool(still_fails(cx))
+    except Exception:
+        confirmed = False
+    if not confirmed:
+        # A witness the predicate no longer rejects must not be shrunk
+        # (the oracle would accept anything); report it unconfirmed as-is.
+        return WitnessReport(
+            condition=condition,
+            original=cx,
+            minimized=cx,
+            original_size=size,
+            minimized_size=size,
+            replay_confirmed=False,
+        )
+    minimized, steps = shrink_witness(cx, still_fails)
+    return WitnessReport(
+        condition=condition,
+        original=cx,
+        minimized=minimized,
+        original_size=size,
+        minimized_size=witness_size(minimized),
+        replay_confirmed=True,
+        steps=tuple(steps),
+    )
+
+
+def explain_result(
+    app: ISApplication, result: ISResult, target: str = "IS application"
+) -> Explanation:
+    """Explain every counterexample of ``result``, in condition-map order.
+
+    Witness order within a condition is preserved (it is the deterministic
+    capped order the checkers and the engine merge both produce), so the
+    explanation is itself deterministic across scheduler backends.
+    """
+    explanation = Explanation(target=target, holds=result.holds)
+    for name, check in result.conditions.items():
+        explanation.conditions[name] = check.holds
+        for cx in check.counterexamples:
+            explanation.witnesses.append(_explain_witness(app, name, cx))
+    return explanation
+
+
+def explain_fixture(name: str, jobs: Optional[int] = None) -> Explanation:
+    """Run a seeded failing fixture end to end and explain the outcome."""
+    try:
+        fixture = FIXTURES[name]
+    except KeyError:
+        known = ", ".join(sorted(FIXTURES))
+        raise KeyError(f"unknown fixture {name!r} (known: {known})") from None
+    app, universe = fixture.build()
+    result = app.check(universe, jobs=jobs)
+    return explain_result(app, result, target=f"fixture {name}: {fixture.title}")

@@ -1,0 +1,138 @@
+"""Seeded-mutant protocol fixtures: IS applications that fail on purpose.
+
+Each fixture plants one realistic bug in the broadcast-consensus proof of
+Figure 1 (small ``n`` so the demo runs in seconds) and records which
+conditions the bug must trip. They drive the end-to-end diagnostics demo:
+``repro explain <fixture>`` runs the obligation engine on the mutant,
+shrinks the resulting witnesses with replay confirmation, and renders the
+report — and the CI ``explain-artifact`` job and ``tests/diagnose`` use
+the same registry, so the demo can never silently rot.
+
+* ``broken-broadcast`` — the abstraction ``CollectAbs`` decides the
+  *minimum* of the received values instead of the maximum: the concrete
+  ``Collect`` has transitions the abstraction cannot match, so
+  ``abs[Collect]`` fails with missing-transition witnesses (and the
+  induction step I3 escapes :math:`\\tau_I`).
+* ``stuck-broadcast`` — the abstraction's transition relation waits for
+  ``n + 1`` messages while its gate admits ``n`` (a classic off-by-one):
+  at full channels the gate holds but no transition is enabled, so the
+  left-mover condition (non-blocking) and cooperation fail with gate
+  witnesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Tuple
+
+from ..core.action import Action, PendingAsync, Transition
+from ..core.program import MAIN
+from ..core.sequentialize import ISApplication
+from ..core.store import Store
+from ..core.universe import StoreUniverse
+from ..protocols import broadcast
+from ..protocols.common import GHOST, ghost_step, has_pa_to, sub_multisets
+
+__all__ = ["Fixture", "FIXTURES"]
+
+
+@dataclass(frozen=True)
+class Fixture:
+    """One seeded mutant: how to build it and what it must break."""
+
+    name: str
+    title: str
+    description: str
+    build: Callable[[], Tuple[ISApplication, StoreUniverse]]
+    #: Condition-map keys the seeded bug is expected to fail (the mutant
+    #: may fail more; tests assert this set is a subset of the failures).
+    expect_failing: Tuple[str, ...]
+
+
+def _collect_pa(i: int) -> PendingAsync:
+    return PendingAsync("Collect", Store({"i": i}))
+
+
+def _mutant_collect_abs(n: int, decide=max, recv_count: int = None) -> Action:
+    """A ``CollectAbs`` variant with a pluggable decision function and
+    receive count (the correct abstraction is ``decide=max``,
+    ``recv_count=n``; see ``broadcast.make_collect_abs``)."""
+    if recv_count is None:
+        recv_count = n
+
+    def gate(state: Store) -> bool:
+        if has_pa_to(state, "Broadcast"):
+            return False
+        return len(state["CH"][state["i"]]) >= n
+
+    def transitions(state: Store) -> Iterator[Transition]:
+        i = state["i"]
+        channel = state["CH"][i]
+        if len(channel) < recv_count:
+            return
+        for received in sub_multisets(channel, recv_count):
+            new_global = state.restrict(broadcast.GLOBAL_VARS).update(
+                {
+                    "CH": state["CH"].set(i, channel - received),
+                    "decision": state["decision"].set(i, decide(received)),
+                    GHOST: ghost_step(state, _collect_pa(i)),
+                }
+            )
+            yield Transition(new_global)
+
+    return Action("CollectAbs", gate, transitions, params=("i",))
+
+
+def _mutant_application(n: int, collect_abs: Action) -> ISApplication:
+    """The one-shot IS application of Example 4.1 with a mutated
+    abstraction for ``Collect`` (everything else is the correct proof)."""
+    program = broadcast.make_atomic(n)
+    return ISApplication(
+        program=program,
+        m_name=MAIN,
+        eliminated=("Broadcast", "Collect"),
+        invariant=broadcast.make_invariant(n),
+        measure=broadcast.make_measure(),
+        abstractions={"Collect": collect_abs},
+    )
+
+
+def _build_broken_broadcast(n: int = 2):
+    app = _mutant_application(n, _mutant_collect_abs(n, decide=min))
+    return app, broadcast.make_universe(app.program, n)
+
+
+def _build_stuck_broadcast(n: int = 2):
+    app = _mutant_application(n, _mutant_collect_abs(n, recv_count=n + 1))
+    return app, broadcast.make_universe(app.program, n)
+
+
+FIXTURES: Dict[str, Fixture] = {
+    "broken-broadcast": Fixture(
+        name="broken-broadcast",
+        title="CollectAbs decides min instead of max (n=2)",
+        description=(
+            "The abstraction's decision function is wrong: it decides the "
+            "minimum of the received values. The concrete Collect decides "
+            "the maximum, so abs[Collect] fails — the concrete transition "
+            "is missing from the abstraction — and the induction step "
+            "composes to states outside τ_I."
+        ),
+        build=_build_broken_broadcast,
+        expect_failing=("abs[Collect]", "I3"),
+    ),
+    "stuck-broadcast": Fixture(
+        name="stuck-broadcast",
+        title="CollectAbs waits for n+1 messages behind a gate that admits n (n=2)",
+        description=(
+            "The abstraction's transition relation is off by one: it "
+            "receives n+1 messages where the gate only guarantees n, so "
+            "at full channels the gate holds and no transition is "
+            "enabled. The left-mover condition fails (non-blocking) and "
+            "so does cooperation: from a gate store with no transition "
+            "the measure cannot decrease."
+        ),
+        build=_build_stuck_broadcast,
+        expect_failing=("LM[Collect]", "CO"),
+    ),
+}

@@ -1,0 +1,143 @@
+"""Render counterexample witnesses and explanations: terminal and JSON.
+
+The terminal renderer uses the semantic pretty-printers of
+``repro.lang.pretty`` (stores as ``var = value`` blocks, channels as
+``⟅...⟆`` bags) so a Paxos witness reads like a protocol state, not a
+nested ``repr``. The JSON serialization is the payload of the
+``repro.obs`` failure-report exporter (schema ``repro.obs/failure/v1``)
+and of ``repro explain --json``; it is self-describing — every semantic
+value is tagged (``{"store": ...}``, ``{"multiset": ...}``) so external
+tooling can reconstruct the structure without importing this package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import List
+
+from ..core.action import PendingAsync, Transition
+from ..core.mapping import FrozenDict
+from ..core.multiset import Multiset
+from ..core.store import Store
+from ..lang.pretty import pretty_store, pretty_value
+from .witness import _META_FIELDS, Counterexample, SkippedMarker
+
+__all__ = ["witness_to_json", "json_value", "render_witness", "render_explanation"]
+
+
+def json_value(value: object) -> object:
+    """A JSON-safe, tagged encoding of a semantic value."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # JSON has no infinities; the protocols use -inf as "undecided".
+        return value if value == value and abs(value) != float("inf") else repr(value)
+    if isinstance(value, Store):
+        return {"store": {k: json_value(v) for k, v in sorted(value.items())}}
+    if isinstance(value, Multiset):
+        return {
+            "multiset": [
+                [json_value(e), c] for e, c in sorted(value.counts(), key=repr)
+            ]
+        }
+    if isinstance(value, FrozenDict):
+        return {
+            "map": [
+                [json_value(k), json_value(v)]
+                for k, v in sorted(value.items(), key=repr)
+            ]
+        }
+    if isinstance(value, PendingAsync):
+        return {"pending": {"action": value.action, "locals": json_value(value.locals)}}
+    if isinstance(value, Transition):
+        return {
+            "transition": {
+                "new_global": json_value(value.new_global),
+                "created": json_value(value.created),
+            }
+        }
+    if isinstance(value, tuple):
+        return [json_value(v) for v in value]
+    return repr(value)
+
+
+def witness_to_json(cx: Counterexample) -> dict:
+    """Serialize one witness: metadata plus every payload field, tagged."""
+    payload = {
+        f.name: json_value(getattr(cx, f.name))
+        for f in fields(cx)
+        if f.name not in _META_FIELDS and getattr(cx, f.name) is not None
+    }
+    return {
+        "kind": cx.kind,
+        "check": cx.check,
+        "reason": cx.reason,
+        "description": cx.description,
+        "actors": list(cx.actors),
+        "prefix": list(cx.prefix),
+        "payload": payload,
+    }
+
+
+def _payload_lines(cx: Counterexample, indent: int) -> List[str]:
+    pad = " " * indent
+    lines: List[str] = []
+    for f in fields(cx):
+        if f.name in _META_FIELDS:
+            continue
+        value = getattr(cx, f.name)
+        if value is None or value == ():
+            continue
+        if isinstance(value, Store):
+            lines.append(f"{pad}{f.name}:")
+            lines.append(pretty_store(value, indent + 2))
+        else:
+            lines.append(f"{pad}{f.name} = {pretty_value(value)}")
+    return lines
+
+
+def render_witness(cx: Counterexample, indent: int = 0) -> str:
+    """One witness as a terminal block: description line, then payload."""
+    pad = " " * indent
+    lines = [f"{pad}{cx.kind}: {cx.description}"]
+    if not isinstance(cx, SkippedMarker):
+        lines.extend(_payload_lines(cx, indent + 2))
+    return "\n".join(lines)
+
+
+def render_explanation(explanation) -> str:
+    """A full ``repro explain`` terminal report.
+
+    ``explanation`` is a :class:`repro.diagnose.explain.Explanation`
+    (duck-typed here to keep the renderer import-light).
+    """
+    lines = [
+        f"target: {explanation.target}",
+        f"verdict: {'PASS' if explanation.holds else 'FAIL'}",
+    ]
+    failed = [name for name, ok in explanation.conditions.items() if not ok]
+    if failed:
+        lines.append(f"failed conditions: {', '.join(failed)}")
+    if not explanation.witnesses:
+        lines.append("no counterexamples to explain")
+        return "\n".join(lines)
+    for i, report in enumerate(explanation.witnesses, start=1):
+        lines.append("")
+        header = f"[{i}] {report.condition}"
+        if report.skipped:
+            lines.append(f"{header} (skipped obligation)")
+            lines.append(render_witness(report.original, 2))
+            continue
+        confirmed = "confirmed still-failing" if report.replay_confirmed else (
+            "NOT confirmed by replay"
+        )
+        lines.append(
+            f"{header} — witness size {report.original_size} -> "
+            f"{report.minimized_size} in {len(report.steps)} shrink steps, "
+            f"replay {confirmed}"
+        )
+        lines.append(render_witness(report.minimized, 2))
+        if report.steps:
+            edits = ", ".join(str(step) for step in report.steps)
+            lines.append(f"  shrunk by: {edits}")
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Delta-debugging minimizer for counterexample witnesses.
+
+A raw witness from an exhaustive check drags along the whole store it was
+found in — for Paxos, a pair of full combined stores plus transitions.
+Most of that state is irrelevant to the violated predicate. The shrinker
+edits the witness structurally — dropping store variables, zeroing numeric
+leaves, removing channel-multiset occurrences — and keeps an edit only if
+*replaying the edited witness against the original obligation predicate
+still fails* (the ``still_fails`` callback, built by
+``repro.diagnose.replay``). Every emitted witness is therefore confirmed
+still-failing; nothing is ever guessed smaller.
+
+The search is greedy first-improvement over a deterministic edit order,
+restarting after every accepted edit, and every accepted edit strictly
+decreases :func:`witness_size` — so the loop terminates and the result is
+a local minimum: no single remaining edit keeps the failure. Determinism
+matters: the same witness and predicate always minimize to the same
+result, which is what lets tests compare shrunk output across backends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, replace
+from typing import Callable, Iterator, List, Tuple
+
+from ..core.action import PendingAsync, Transition
+from ..core.mapping import FrozenDict
+from ..core.multiset import Multiset
+from ..core.store import Store
+from .witness import _META_FIELDS, Counterexample
+
+__all__ = ["witness_size", "shrink_witness", "ShrinkStep"]
+
+
+def witness_size(value: object) -> int:
+    """The shrink order: a structural size measure over witness payloads.
+
+    Zero/empty leaves cost nothing, so "zero a counter" and "drop a
+    variable" are both strict improvements; containers cost one per entry
+    plus their contents, so emptying a channel beats shrinking one
+    message. Totals are comparable across candidate edits of the same
+    witness, which is all the greedy loop needs.
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1 if value else 0
+    if isinstance(value, (int, float)):
+        return 0 if value == 0 else 1
+    if isinstance(value, str):
+        return 0 if not value else 1
+    if isinstance(value, Store):
+        return sum(1 + witness_size(v) for _, v in value.items())
+    if isinstance(value, Multiset):
+        return sum(c * (1 + witness_size(e)) for e, c in value.counts())
+    if isinstance(value, FrozenDict):
+        return sum(witness_size(v) for _, v in sorted(value.items(), key=repr))
+    if isinstance(value, PendingAsync):
+        return 1 + witness_size(value.locals)
+    if isinstance(value, Transition):
+        return witness_size(value.new_global) + witness_size(value.created)
+    if isinstance(value, Counterexample):
+        return sum(
+            witness_size(getattr(value, f.name))
+            for f in fields(value)
+            if f.name not in _META_FIELDS
+        )
+    if isinstance(value, tuple):
+        return sum(witness_size(v) for v in value)
+    return 1
+
+
+def _value_edits(value: object) -> Iterator[Tuple[str, object]]:
+    """Candidate replacements for one payload value, each strictly smaller
+    by :func:`witness_size`, in a deterministic order. Yields
+    ``(edit description, new value)`` pairs."""
+    if isinstance(value, bool):
+        if value:
+            yield "set False", False
+        return
+    if isinstance(value, (int, float)):
+        if value != 0:
+            yield "zero", type(value)(0)
+        return
+    if isinstance(value, str):
+        if value:
+            yield "empty string", ""
+        return
+    if isinstance(value, Store):
+        for var in sorted(value.variables()):
+            yield f"drop {var}", value.without([var])
+        for var in sorted(value.variables()):
+            for what, smaller in _value_edits(value[var]):
+                yield f"{var}: {what}", value.set(var, smaller)
+        return
+    if isinstance(value, Multiset):
+        if len(value) > 1:
+            yield "empty multiset", Multiset()
+        for element, _count in sorted(value.counts(), key=lambda kv: repr(kv[0])):
+            yield f"remove one {element!r}", value.remove(element)
+        return
+    if isinstance(value, FrozenDict):
+        for key, entry in sorted(value.items(), key=repr):
+            for what, smaller in _value_edits(entry):
+                yield f"[{key!r}]: {what}", value.set(key, smaller)
+        return
+    if isinstance(value, PendingAsync):
+        for what, smaller in _value_edits(value.locals):
+            yield f"locals {what}", replace(value, locals=smaller)
+        return
+    if isinstance(value, Transition):
+        for what, smaller in _value_edits(value.new_global):
+            yield f"new_global {what}", replace(value, new_global=smaller)
+        for what, smaller in _value_edits(value.created):
+            yield f"created {what}", replace(value, created=smaller)
+        return
+    if isinstance(value, tuple):
+        for i, item in enumerate(value):
+            for what, smaller in _value_edits(item):
+                yield (
+                    f"[{i}] {what}",
+                    (*value[:i], smaller, *value[i + 1 :]),
+                )
+        return
+
+
+class ShrinkStep(Tuple[str, str]):
+    """An accepted shrink edit: ``(field name, edit description)``."""
+
+    __slots__ = ()
+
+    def __new__(cls, field_name: str, what: str):
+        return super().__new__(cls, (field_name, what))
+
+    def __repr__(self) -> str:
+        return f"{self[0]}: {self[1]}"
+
+
+def _witness_edits(cx: Counterexample) -> Iterator[Tuple[ShrinkStep, Counterexample]]:
+    """All single-edit candidates for a witness, in field order then edit
+    order. Edits only touch payload fields — never ``reason``/``check``/
+    ``actors``/``prefix``, which identify the failure being replayed."""
+    for f in fields(cx):
+        if f.name in _META_FIELDS:
+            continue
+        value = getattr(cx, f.name)
+        if value is None:
+            continue
+        for what, smaller in _value_edits(value):
+            yield ShrinkStep(f.name, what), replace(cx, **{f.name: smaller})
+
+
+def shrink_witness(
+    cx: Counterexample,
+    still_fails: Callable[[Counterexample], bool],
+    max_steps: int = 10_000,
+) -> Tuple[Counterexample, List[ShrinkStep]]:
+    """Minimize ``cx`` while ``still_fails`` keeps rejecting it.
+
+    ``still_fails`` must return ``True`` when the candidate witness still
+    violates its obligation predicate; a candidate on which the replay
+    raises (e.g. a dropped variable the gate reads) counts as *not*
+    failing and is discarded — a witness must demonstrably fail, not
+    merely crash the checker. Returns the minimized witness and the list
+    of accepted edits (empty if nothing could be removed). The input is
+    returned unchanged if it does not fail its own predicate — callers
+    should check replay confirmation first.
+    """
+    current = cx
+    accepted: List[ShrinkStep] = []
+    budget = max_steps
+    improved = True
+    while improved and budget > 0:
+        improved = False
+        current_size = witness_size(current)
+        for step, candidate in _witness_edits(current):
+            budget -= 1
+            if budget <= 0:
+                break
+            if witness_size(candidate) >= current_size:
+                continue
+            try:
+                failing = bool(still_fails(candidate))
+            except Exception:
+                failing = False
+            if failing:
+                accepted.append(step)
+                current = candidate
+                improved = True
+                break
+    return current, accepted

@@ -1,0 +1,182 @@
+"""Typed counterexample witnesses: what a failed check actually ships.
+
+The paper's pitch is that a failed IS obligation comes with "a concrete
+counterexample, exactly like an SMT model". Historically a
+:class:`~repro.core.refinement.CheckResult` carried ad-hoc
+``(description, object)`` tuples; this module replaces them with a small
+closed hierarchy of frozen dataclasses:
+
+* :class:`GateWitness` — a store where a gate-shaped inclusion breaks
+  (abstract gate holds where the concrete one fails, a gate-satisfying
+  store with no transition, a measure that cannot decrease, ...);
+* :class:`MissingTransitionWitness` — a concrete transition (or a
+  program-level input/output pair) the abstraction cannot reproduce;
+* :class:`CommutationWitness` — the full commuting diagram of a failed
+  left-mover condition: both local stores, the global, and the two
+  transitions that cannot be swapped;
+* :class:`SkippedMarker` — the explicit marker a fail-fast run records
+  for an obligation it never executed.
+
+Every witness knows
+
+* its ``check`` — a stable identifier of the *failure mode* (e.g.
+  ``"transition-inclusion"``), which ``repro.diagnose.replay`` dispatches
+  on to rebuild the predicate the witness violates;
+* its ``actors`` — the action names involved, so a replayer can recover
+  the concrete/abstract action pair from an
+  :class:`~repro.core.sequentialize.ISApplication`;
+* its merge ``prefix`` — the context labels the obligation-merge paths
+  used to encode as string prefixes (``wrt Broadcast:``); keeping them
+  structured preserves byte-identical rendered descriptions across the
+  serial and pool backends while letting tools strip them.
+
+Witnesses still *iterate* like the legacy ``(description, payload)``
+pairs, so diff-style consumers (``for d, w in result.counterexamples``)
+keep working unchanged.
+
+This module deliberately imports nothing from ``repro`` — it is a leaf
+that ``repro.core.refinement`` can depend on without an import cycle.
+The size measure lives in ``repro.diagnose.shrink`` and the JSON/terminal
+renderers in ``repro.diagnose.render`` for the same reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Iterator, Tuple
+
+__all__ = [
+    "COUNTEREXAMPLE_KEEP",
+    "Counterexample",
+    "GateWitness",
+    "MissingTransitionWitness",
+    "CommutationWitness",
+    "SkippedMarker",
+]
+
+#: The single per-condition counterexample cap. Every producer
+#: (``refinement._fail``), combiner (``movers._combine_conditions``) and
+#: merge path (``engine.obligations.merge_outcomes``) truncates to this
+#: constant, so inline, serial, and pool runs report identical witness
+#: lists for the same failure (asserted in ``tests/diagnose``).
+COUNTEREXAMPLE_KEEP = 5
+
+#: Fields that are context, not payload (excluded from ``payload()``).
+_META_FIELDS = ("reason", "check", "actors", "prefix")
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """Base witness: a reason, a failure-mode id, and merge context.
+
+    ``reason`` is the human-readable description of *why* the check
+    failed (without merge prefixes); ``check`` identifies the violated
+    predicate for replay; ``actors`` names the actions involved (in a
+    fixed, check-specific order); ``prefix`` carries the labels merge
+    paths prepend (``wrt Pong``, a condition-result name, ...).
+    """
+
+    reason: str = ""
+    check: str = ""
+    actors: Tuple[str, ...] = ()
+    prefix: Tuple[str, ...] = ()
+
+    kind = "counterexample"
+
+    @property
+    def description(self) -> str:
+        """The fully-prefixed legacy description string."""
+        return ": ".join((*self.prefix, self.reason))
+
+    def with_prefix(self, *labels: str) -> "Counterexample":
+        """A copy with ``labels`` prepended to the merge prefix."""
+        return replace(self, prefix=(*labels, *self.prefix))
+
+    def payload(self) -> object:
+        """The witness payload (the legacy tuple's second element): the
+        non-``None`` payload fields, unwrapped when there is only one."""
+        values = tuple(
+            getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in _META_FIELDS and getattr(self, f.name) is not None
+        )
+        values = tuple(v for v in values if v != ())
+        if not values:
+            return None
+        if len(values) == 1:
+            return values[0]
+        return values
+
+    def __iter__(self) -> Iterator[object]:
+        """Unpack like the legacy ``(description, payload)`` tuple."""
+        yield self.description
+        yield self.payload()
+
+    def __repr__(self) -> str:  # compact: the report renders details
+        return f"{type(self).__name__}({self.description!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class GateWitness(Counterexample):
+    """A store violating a gate-shaped condition.
+
+    ``state`` is the offending (combined) store; ``context`` carries any
+    additional objects fixing the scenario (e.g. the I-transition and
+    chosen PA for an I3 gate failure, or the ``(global, local)`` split of
+    a program-level initial store).
+    """
+
+    state: object = None
+    context: Tuple = ()
+
+    kind = "gate"
+
+
+@dataclass(frozen=True, repr=False)
+class MissingTransitionWitness(Counterexample):
+    """A behaviour of the concrete side the abstract side cannot match.
+
+    For action refinement, ``state`` + ``transition`` pin the concrete
+    transition missing from the abstraction. For program refinement,
+    ``state`` + ``final_global`` pin the terminating input/output pair
+    the abstract program does not reproduce. ``context`` carries extra
+    scenario objects (the I-transition and chosen PA for I3).
+    """
+
+    state: object = None
+    transition: object = None
+    final_global: object = None
+    context: Tuple = ()
+
+    kind = "missing-transition"
+
+
+@dataclass(frozen=True, repr=False)
+class CommutationWitness(Counterexample):
+    """A failed left-mover diagram: who could not move past whom.
+
+    ``actors`` is ``(l, x)`` — the would-be left mover and the action it
+    was checked against. ``global_store``/``left_locals``/``right_locals``
+    fix the stores; ``first_transition`` and ``second_transition`` are the
+    two steps of the non-swappable ``x ; l`` execution (gate-preservation
+    failures carry only the one transition that breaks the gate).
+    """
+
+    global_store: object = None
+    left_locals: object = None
+    right_locals: object = None
+    first_transition: object = None
+    second_transition: object = None
+
+    kind = "commutation"
+
+
+@dataclass(frozen=True, repr=False)
+class SkippedMarker(Counterexample):
+    """The explicit marker of a fail-fast skip (never executed, so there
+    is no store to show — the ``reason`` names the failed dependency)."""
+
+    kind = "skipped"
+
+    def payload(self) -> object:
+        return None

@@ -34,9 +34,10 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..core.movers import LM_CONDITION_ORDER, left_mover_condition
-from ..core.refinement import CheckResult
+from ..core.refinement import COUNTEREXAMPLE_KEEP, CheckResult
 from ..core.sequentialize import ISApplication, ISResult
 from ..core.universe import StoreUniverse
+from ..diagnose.witness import SkippedMarker
 
 __all__ = [
     "Obligation",
@@ -48,8 +49,10 @@ __all__ = [
     "lm_slice_count",
 ]
 
-#: Per-obligation counterexample cap, matching ``refinement._fail``.
-_KEEP = 5
+#: Per-obligation counterexample cap — the single shared constant from
+#: ``repro.diagnose.witness`` (also used by ``refinement._fail`` and the
+#: inline mover combiners), so every merge path truncates identically.
+_KEEP = COUNTEREXAMPLE_KEEP
 
 
 def _slices(num_items: int, shards: int) -> List[Tuple[int, int]]:
@@ -294,7 +297,9 @@ def _lm_universe_for(app, universe, name, lm_universes):
 def _skipped_result(name: str, reasons: Iterable[str]) -> CheckResult:
     result = CheckResult(name, False)
     for reason in reasons:
-        result.counterexamples.append((f"skipped: {reason}", None))
+        result.counterexamples.append(
+            SkippedMarker(reason=f"skipped: {reason}", check="skipped")
+        )
     return result
 
 
@@ -316,17 +321,23 @@ def merge_outcomes(
       prefix equals the unsharded enumeration's prefix).
     * ``LM`` cells fold into one per-abstraction condition exactly like
       ``is_left_mover_wrt_program``: checks summed over program actions in
-      program order, counterexamples prefixed ``wrt {action}:`` (no cap,
-      matching the inline merge).
+      program order, counterexamples prefixed ``wrt {action}`` and the
+      folded list truncated to the same cap as the inline merge.
     * ``LMc`` shards (condition-level slices of an LM cell — see
       ``build_obligations``) reproduce ``is_left_mover`` before folding:
       within one (pair, condition), slice counterexamples concatenate in
-      slice order and cap at five (each slice keeps its *first* five, so
-      the prefix equals the unsliced enumeration's), carry the condition
-      result's name as prefix exactly like ``_combine_conditions``, and
-      then fold with the same ``wrt {action}:`` prefix as whole cells.
+      slice order and cap at :data:`COUNTEREXAMPLE_KEEP` (each slice keeps
+      its *first* cap-many, so the prefix equals the unsliced
+      enumeration's), carry the condition result's name as prefix exactly
+      like ``_combine_conditions``, and then fold with the same
+      ``wrt {action}`` prefix and final truncation as whole cells.
     * ``CO`` per-action results concatenate into the single cooperation
-      condition, truncated to five like I3.
+      condition, truncated like I3.
+
+    Every condition entry ends up capped at :data:`COUNTEREXAMPLE_KEEP`
+    counterexamples in enumeration order — the one truncation rule shared
+    with the inline checkers, asserted across backends in
+    ``tests/diagnose``.
     """
     merged = ISResult()
     conditions = merged.conditions
@@ -357,9 +368,12 @@ def merge_outcomes(
             acc.checked += sub.checked
             if not sub.holds:
                 acc.holds = False
-                acc.counterexamples.extend(
-                    (f"wrt {other}: {d}", w) for d, w in sub.counterexamples
-                )
+                if len(acc.counterexamples) < _KEEP:
+                    acc.counterexamples.extend(
+                        cx.with_prefix(f"wrt {other}")
+                        for cx in sub.counterexamples
+                    )
+                    del acc.counterexamples[_KEEP:]
         elif ob.kind == "LMc":
             name, other, cond = ob.params[:3]
             acc = conditions.get(ob.condition)
@@ -371,17 +385,21 @@ def merge_outcomes(
                 acc.holds = False
                 cell = (name, other, cond)
                 kept = lm_cond_kept.get(cell, 0)
-                for d, w in sub.counterexamples:
-                    if d.startswith("skipped:"):
+                for cx in sub.counterexamples:
+                    if isinstance(cx, SkippedMarker):
                         # Fail-fast skips carry no condition-result name.
-                        acc.counterexamples.append((f"wrt {other}: {d}", w))
+                        if len(acc.counterexamples) < _KEEP:
+                            acc.counterexamples.append(
+                                cx.with_prefix(f"wrt {other}")
+                            )
                         continue
                     if kept >= _KEEP:
                         break
                     kept += 1
-                    acc.counterexamples.append(
-                        (f"wrt {other}: {sub.name}: {d}", w)
-                    )
+                    if len(acc.counterexamples) < _KEEP:
+                        acc.counterexamples.append(
+                            cx.with_prefix(f"wrt {other}", sub.name)
+                        )
                 lm_cond_kept[cell] = kept
         elif ob.kind == "CO":
             acc = conditions.get(ob.condition)

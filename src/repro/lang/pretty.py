@@ -4,11 +4,22 @@ Produces the concrete syntax used in Figure 1-① of the paper (``proc``,
 ``async``, ``send``/``receive``, ``for``/``if``), so examples and
 documentation can show the programs under verification as readable source
 rather than ASTs.
+
+Also renders the *semantic* objects — stores, multisets, map-valued
+globals, transitions — in a compact notation
+(``CH = {1: ⟅11⟆, 2: ⟅⟆}``), used by the counterexample reports of
+``repro.diagnose.render`` where raw ``repr`` output is unreadable for
+anything bigger than ping-pong.
 """
 
 from __future__ import annotations
 
 from typing import List
+
+from ..core.action import PendingAsync, Transition
+from ..core.mapping import FrozenDict
+from ..core.multiset import Multiset
+from ..core.store import Store
 
 from .ast_nodes import (
     Assert,
@@ -28,7 +39,14 @@ from .ast_nodes import (
 )
 from .interp import Module, Procedure
 
-__all__ = ["pretty_stmt", "pretty_procedure", "pretty_module"]
+__all__ = [
+    "pretty_stmt",
+    "pretty_procedure",
+    "pretty_module",
+    "pretty_value",
+    "pretty_store",
+    "pretty_transition",
+]
 
 _INDENT = "    "
 
@@ -106,6 +124,56 @@ def pretty_procedure(proc: Procedure) -> str:
     for stmt in proc.body:
         lines.extend(_stmt_lines(stmt, 1))
     return "\n".join(lines)
+
+
+def pretty_value(value: object) -> str:
+    """Render a semantic value compactly: multisets as ``⟅a, b*2⟆``, maps
+    as ``{k: v}``, stores as ``(x=1, y=2)``, PAs by their call syntax."""
+    if isinstance(value, Multiset):
+        parts = []
+        for element, count in sorted(value.counts(), key=repr):
+            rendered = pretty_value(element)
+            parts.append(rendered if count == 1 else f"{rendered}*{count}")
+        return "⟅" + ", ".join(parts) + "⟆"
+    if isinstance(value, FrozenDict):
+        inner = ", ".join(
+            f"{k!r}: {pretty_value(v)}" for k, v in sorted(value.items(), key=repr)
+        )
+        return "{" + inner + "}"
+    if isinstance(value, Store):
+        inner = ", ".join(
+            f"{k}={pretty_value(v)}" for k, v in sorted(value.items())
+        )
+        return f"({inner})"
+    if isinstance(value, PendingAsync):
+        return repr(value)
+    if isinstance(value, Transition):
+        return pretty_transition(value)
+    if isinstance(value, tuple):
+        return "(" + ", ".join(pretty_value(v) for v in value) + ")"
+    if isinstance(value, float) and value in (float("inf"), float("-inf")):
+        return "∞" if value > 0 else "-∞"
+    return repr(value)
+
+
+def pretty_store(store: Store, indent: int = 0) -> str:
+    """Render a store as one ``var = value`` line per variable (sorted),
+    the layout the counterexample reports use for witness states."""
+    pad = " " * indent
+    if len(store) == 0:
+        return f"{pad}(empty store)"
+    return "\n".join(
+        f"{pad}{var} = {pretty_value(value)}"
+        for var, value in sorted(store.items())
+    )
+
+
+def pretty_transition(tr: Transition) -> str:
+    """Render a transition as ``-> (globals) +⟅created PAs⟆``."""
+    text = f"-> {pretty_value(tr.new_global)}"
+    if tr.created:
+        text += f" +{pretty_value(tr.created)}"
+    return text
 
 
 def pretty_module(module: Module) -> str:

@@ -15,9 +15,11 @@ package (see DESIGN.md, "Observability" — the no-perturbation guarantee).
 
 from .export import (
     chrome_trace,
+    failure_payload,
     metrics_payload,
     render_summary,
     write_chrome_trace,
+    write_failure_report,
     write_metrics,
 )
 from .tracer import Span, Tracer
@@ -26,8 +28,10 @@ __all__ = [
     "Span",
     "Tracer",
     "chrome_trace",
+    "failure_payload",
     "metrics_payload",
     "render_summary",
     "write_chrome_trace",
+    "write_failure_report",
     "write_metrics",
 ]

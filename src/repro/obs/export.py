@@ -1,5 +1,5 @@
 """Exporters for recorded traces: Chrome ``trace_event`` JSON, a flat
-metrics JSON, and a terminal summary table.
+metrics JSON, a terminal summary table, and a failure-report JSON.
 
 Chrome trace
     :func:`chrome_trace` renders complete (``"ph": "X"``) events, one per
@@ -21,6 +21,15 @@ Terminal summary
     :func:`render_summary` is the ``--trace``/``--metrics`` CLI footer: a
     per-condition table (spans, wall time, checks, cache hit rate) plus
     worker occupancy, readable without leaving the terminal.
+
+Failure report
+    :func:`failure_payload` serializes a ``repro.diagnose`` explanation —
+    per-condition verdicts plus, for every counterexample, the original
+    and minimized witnesses (tagged values, see
+    :func:`repro.diagnose.render.witness_to_json`), the accepted shrink
+    steps, and the replay-confirmation bit. This is the machine-readable
+    twin of the ``repro explain`` terminal report, written by
+    ``repro explain --json`` and uploaded as a CI artifact.
 """
 
 from __future__ import annotations
@@ -33,15 +42,18 @@ from .tracer import Span, Tracer
 
 __all__ = [
     "chrome_trace",
+    "failure_payload",
     "metrics_payload",
     "render_summary",
     "write_chrome_trace",
+    "write_failure_report",
     "write_metrics",
 ]
 
 #: Schema tags written into the exported files, bumped on layout changes.
 TRACE_SCHEMA = "repro.obs/chrome-trace/v1"
 METRICS_SCHEMA = "repro.obs/metrics/v1"
+FAILURE_SCHEMA = "repro.obs/failure/v1"
 
 
 def _micros(seconds: float) -> int:
@@ -235,6 +247,47 @@ def render_summary(tracer: Tracer) -> str:
         f"{len(workers)} worker(s)"
     )
     return "\n".join(lines)
+
+
+def failure_payload(explanation) -> dict:
+    """A ``repro.diagnose`` explanation as a self-describing JSON document.
+
+    ``explanation`` is a :class:`repro.diagnose.explain.Explanation`. Every
+    witness appears twice — as found and as minimized — so downstream
+    tooling can diff what the shrinker removed; ``replay_confirmed`` is the
+    bit CI gates on (a report with unconfirmed witnesses is itself a bug).
+    """
+    from ..diagnose.render import witness_to_json
+
+    witnesses = []
+    for report in explanation.witnesses:
+        witnesses.append(
+            {
+                "condition": report.condition,
+                "skipped": report.skipped,
+                "replay_confirmed": report.replay_confirmed,
+                "original_size": report.original_size,
+                "minimized_size": report.minimized_size,
+                "shrink_steps": [list(step) for step in report.steps],
+                "original": witness_to_json(report.original),
+                "minimized": witness_to_json(report.minimized),
+            }
+        )
+    return {
+        "schema": FAILURE_SCHEMA,
+        "target": explanation.target,
+        "holds": explanation.holds,
+        "conditions": dict(explanation.conditions),
+        "all_confirmed": explanation.all_confirmed,
+        "witnesses": witnesses,
+    }
+
+
+def write_failure_report(explanation, path) -> Path:
+    """Serialize :func:`failure_payload` to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(failure_payload(explanation), indent=2) + "\n")
+    return path
 
 
 def write_chrome_trace(tracer: Tracer, path) -> Path:

@@ -453,11 +453,13 @@ def make_module(n: int):
 # --------------------------------------------------------------------- #
 
 
-def make_universe(program: Program, n: int, values=None) -> StoreUniverse:
+def make_universe(
+    program: Program, n: int, values=None, max_configs=None
+) -> StoreUniverse:
     """Reachable-state universe of the given program under the ghost
     (linear-permission) PA context."""
     init = initial_config(initial_global(n, values))
-    universe = StoreUniverse.from_reachable(program, [init])
+    universe = StoreUniverse.from_reachable(program, [init], max_configs=max_configs)
     return universe.with_context(GhostContext(GHOST))
 
 
@@ -473,6 +475,7 @@ def verify(
     values: Optional[Sequence[int]] = None,
     iterated: bool = True,
     ground_truth: bool = True,
+    max_configs: Optional[int] = None,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
@@ -480,8 +483,11 @@ def verify(
     """Full pipeline: IS condition checks, sequential spec on the
     transformed program, and (optionally) the ground-truth refinement
     :math:`\\mathcal{P} \\preccurlyeq \\mathcal{P}'` by exhaustive
-    exploration."""
+    exploration. A blown ``max_configs`` budget is reported as a BUDGET
+    verdict on the report, not raised."""
     from contextlib import nullcontext
+
+    from .common import BudgetHit, ExplorationBudgetExceeded
 
     values = tuple(values if values is not None else default_values(n))
     report = ProtocolReport(
@@ -503,36 +509,53 @@ def verify(
         else nullcontext()
     ):
         for label, application in zip(labels, applications):
-            with timed(report, f"IS[{label}]", tracer=tracer):
-                universe = make_universe(application.program, n, values)
-                with (
-                    tracer.scope(f"IS[{label}]")
-                    if tracer is not None
-                    else nullcontext()
-                ):
-                    result = application.check(
-                        universe, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+            try:
+                with timed(report, f"IS[{label}]", tracer=tracer):
+                    universe = make_universe(
+                        application.program, n, values, max_configs=max_configs
                     )
+                    with (
+                        tracer.scope(f"IS[{label}]")
+                        if tracer is not None
+                        else nullcontext()
+                    ):
+                        result = application.check(
+                            universe, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+                        )
+            except ExplorationBudgetExceeded as exc:
+                report.budget = BudgetHit(f"IS[{label}]", exc.explored, exc.limit)
+                return report
             report.is_results.append((label, result))
+            report.explain_targets.append((label, application, universe))
             final_program = application.apply_and_drop()
 
-        with timed(report, "sequential spec", tracer=tracer):
-            summary = instance_summary(final_program, initial_global(n, values))
-            report.spec_ok = (
-                (not summary.can_fail)
-                and bool(summary.final_globals)
-                and all(
-                    spec_holds(final, n, values)
-                    for final in summary.final_globals
+        try:
+            with timed(report, "sequential spec", tracer=tracer):
+                summary = instance_summary(
+                    final_program, initial_global(n, values), max_configs=max_configs
                 )
-            )
+                report.spec_ok = (
+                    (not summary.can_fail)
+                    and bool(summary.final_globals)
+                    and all(
+                        spec_holds(final, n, values)
+                        for final in summary.final_globals
+                    )
+                )
+        except ExplorationBudgetExceeded as exc:
+            report.budget = BudgetHit("sequential spec", exc.explored, exc.limit)
+            return report
 
         if ground_truth:
-            with timed(report, "ground truth", tracer=tracer):
-                report.ground_truth = check_program_refinement(
-                    original,
-                    final_program,
-                    [(initial_global(n, values), EMPTY_STORE)],
-                    name="P2 ≼ P' (exhaustive)",
-                )
+            try:
+                with timed(report, "ground truth", tracer=tracer):
+                    report.ground_truth = check_program_refinement(
+                        original,
+                        final_program,
+                        [(initial_global(n, values), EMPTY_STORE)],
+                        max_configs=max_configs,
+                        name="P2 ≼ P' (exhaustive)",
+                    )
+            except ExplorationBudgetExceeded as exc:
+                report.budget = BudgetHit("ground truth", exc.explored, exc.limit)
     return report

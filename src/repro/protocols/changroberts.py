@@ -372,6 +372,7 @@ def verify(
     n: int = 4,
     ids: Optional[Sequence[int]] = None,
     ground_truth: bool = True,
+    max_configs: Optional[int] = None,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
@@ -386,6 +387,7 @@ def verify(
         initial_global(n, ids),
         lambda final: spec_holds(final, n),
         ground_truth=ground_truth,
+        max_configs=max_configs,
         jobs=jobs,
         fail_fast=fail_fast,
         tracer=tracer,

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..core.action import PendingAsync
+from ..core.explore import ExplorationBudgetExceeded
 from ..core.multiset import EMPTY, Multiset
 from ..core.refinement import CheckResult
 from ..core.sequentialize import ISResult
@@ -38,6 +39,7 @@ __all__ = [
     "count_pas_to",
     "sub_multisets",
     "bag_send",
+    "BudgetHit",
     "ProtocolReport",
     "verify_protocol",
     "timed",
@@ -116,13 +118,41 @@ def bag_send(channel: Multiset, message) -> Multiset:
     return channel.add(message)
 
 
+@dataclass(frozen=True)
+class BudgetHit:
+    """A pipeline stage that blew its exploration budget.
+
+    Wraps the :class:`~repro.core.explore.ExplorationBudgetExceeded` the
+    stage raised: ``stage`` is the pipeline stage label (``IS[label]``,
+    ``sequential spec``, ``ground truth``), ``explored``/``limit`` come
+    from the exception. Reports carrying one render as BUDGET — neither
+    verified nor refuted — instead of a traceback.
+    """
+
+    stage: str
+    explored: int
+    limit: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.stage}: budget exceeded after {self.explored} "
+            f"configurations (limit {self.limit})"
+        )
+
+
 @dataclass
 class ProtocolReport:
     """Result of a protocol's full verification pipeline.
 
     ``ok`` requires every IS application to pass, the sequential spec to
     hold on the final program, and (when computed) the ground-truth
-    refinement check to pass.
+    refinement check to pass. A report whose pipeline blew its
+    ``max_configs`` budget carries a :class:`BudgetHit` and renders as
+    BUDGET: it neither passed nor failed, it ran out of room.
+
+    ``explain_targets`` records, per IS check, the application and universe
+    it ran against — everything ``repro.diagnose.explain_result`` needs to
+    replay and shrink the counterexamples of a failed report.
     """
 
     name: str
@@ -131,6 +161,10 @@ class ProtocolReport:
     spec_ok: Optional[bool] = None
     ground_truth: Optional[CheckResult] = None
     timings: Dict[str, float] = field(default_factory=dict)
+    budget: Optional[BudgetHit] = None
+    explain_targets: List[Tuple[str, object, object]] = field(
+        default_factory=list, compare=False, repr=False
+    )
 
     @property
     def num_is_applications(self) -> int:
@@ -138,6 +172,8 @@ class ProtocolReport:
 
     @property
     def ok(self) -> bool:
+        if self.budget is not None:
+            return False
         if any(not result.holds for _, result in self.is_results):
             return False
         if self.spec_ok is False:
@@ -147,12 +183,19 @@ class ProtocolReport:
         return True
 
     @property
+    def status(self) -> str:
+        """``OK``, ``FAILED``, or ``BUDGET`` (ran out of configurations)."""
+        if self.budget is not None:
+            return "BUDGET"
+        return "OK" if self.ok else "FAILED"
+
+    @property
     def total_time(self) -> float:
         return sum(self.timings.values())
 
     def summary(self) -> str:
-        status = "OK" if self.ok else "FAILED"
-        parts = [f"{self.name}: {status} ({self.num_is_applications} IS applications,"
+        parts = [f"{self.name}: {self.status} "
+                 f"({self.num_is_applications} IS applications,"
                  f" {self.total_time:.2f}s)"]
         for label, result in self.is_results:
             parts.append(f"  IS[{label}]: {'PASS' if result.holds else 'FAIL'}")
@@ -163,6 +206,8 @@ class ProtocolReport:
                 f"  ground-truth refinement: "
                 f"{'PASS' if self.ground_truth.holds else 'FAIL'}"
             )
+        if self.budget is not None:
+            parts.append(f"  {self.budget}")
         return "\n".join(parts)
 
 
@@ -205,40 +250,54 @@ def verify_protocol(
     final_program = original
     with tracer.scope(name) if tracer is not None else nullcontext():
         for label, application in applications:
-            with timed(report, f"IS[{label}]", tracer=tracer):
-                universe = StoreUniverse.from_reachable(
-                    application.program,
-                    [initial_config(initial_global)],
-                    max_configs=max_configs,
-                ).with_context(GhostContext(GHOST))
-                with (
-                    tracer.scope(f"IS[{label}]")
-                    if tracer is not None
-                    else nullcontext()
-                ):
-                    result = application.check(
-                        universe, jobs=jobs, fail_fast=fail_fast, tracer=tracer
-                    )
+            try:
+                with timed(report, f"IS[{label}]", tracer=tracer):
+                    universe = StoreUniverse.from_reachable(
+                        application.program,
+                        [initial_config(initial_global)],
+                        max_configs=max_configs,
+                    ).with_context(GhostContext(GHOST))
+                    with (
+                        tracer.scope(f"IS[{label}]")
+                        if tracer is not None
+                        else nullcontext()
+                    ):
+                        result = application.check(
+                            universe, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+                        )
+            except ExplorationBudgetExceeded as exc:
+                report.budget = BudgetHit(f"IS[{label}]", exc.explored, exc.limit)
+                return report
             report.is_results.append((label, result))
+            report.explain_targets.append((label, application, universe))
             final_program = application.apply_and_drop()
 
-        with timed(report, "sequential spec", tracer=tracer):
-            summary = instance_summary(final_program, initial_global)
-            report.spec_ok = (
-                not summary.can_fail
-                and bool(summary.final_globals)
-                and all(spec_fn(final) for final in summary.final_globals)
-            )
+        try:
+            with timed(report, "sequential spec", tracer=tracer):
+                summary = instance_summary(
+                    final_program, initial_global, max_configs=max_configs
+                )
+                report.spec_ok = (
+                    not summary.can_fail
+                    and bool(summary.final_globals)
+                    and all(spec_fn(final) for final in summary.final_globals)
+                )
+        except ExplorationBudgetExceeded as exc:
+            report.budget = BudgetHit("sequential spec", exc.explored, exc.limit)
+            return report
 
         if ground_truth:
-            with timed(report, "ground truth", tracer=tracer):
-                report.ground_truth = check_program_refinement(
-                    original,
-                    final_program,
-                    [(initial_global, EMPTY_STORE)],
-                    max_configs=max_configs,
-                    name="P ≼ P' (exhaustive)",
-                )
+            try:
+                with timed(report, "ground truth", tracer=tracer):
+                    report.ground_truth = check_program_refinement(
+                        original,
+                        final_program,
+                        [(initial_global, EMPTY_STORE)],
+                        max_configs=max_configs,
+                        name="P ≼ P' (exhaustive)",
+                    )
+            except ExplorationBudgetExceeded as exc:
+                report.budget = BudgetHit("ground truth", exc.explored, exc.limit)
     return report
 
 

@@ -396,6 +396,7 @@ def verify(
     prices: Sequence[int] = (2, 3),
     contributions: Sequence[int] = (0, 1, 2),
     ground_truth: bool = True,
+    max_configs: Optional[int] = None,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
@@ -410,6 +411,7 @@ def verify(
         initial_global(n),
         lambda final: spec_holds(final, n),
         ground_truth=ground_truth,
+        max_configs=max_configs,
         jobs=jobs,
         fail_fast=fail_fast,
         tracer=tracer,

@@ -657,6 +657,7 @@ def verify_sampled(
                     ),
                 )
             )
+            report.explain_targets.append(("Paxos", application, universe))
     with timed(report, "sequential spec"):
         summary = instance_summary(
             application.apply_and_drop(), initial_global(rounds, num_nodes)

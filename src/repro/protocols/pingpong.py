@@ -313,6 +313,7 @@ def spec_holds(final_global: Store, rounds: int) -> bool:
 def verify(
     rounds: int = 3,
     ground_truth: bool = True,
+    max_configs: Optional[int] = None,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
@@ -327,6 +328,7 @@ def verify(
         initial_global(rounds),
         lambda final: spec_holds(final, rounds),
         ground_truth=ground_truth,
+        max_configs=max_configs,
         jobs=jobs,
         fail_fast=fail_fast,
         tracer=tracer,

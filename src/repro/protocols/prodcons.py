@@ -217,6 +217,7 @@ def spec_holds(final_global: Store, bound: int) -> bool:
 def verify(
     bound: int = 4,
     ground_truth: bool = True,
+    max_configs: Optional[int] = None,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
@@ -231,6 +232,7 @@ def verify(
         initial_global(bound),
         lambda final: spec_holds(final, bound),
         ground_truth=ground_truth,
+        max_configs=max_configs,
         jobs=jobs,
         fail_fast=fail_fast,
         tracer=tracer,

@@ -470,6 +470,7 @@ def spec_holds(final_global: Store, n: int) -> bool:
 def verify(
     n: int = 3,
     ground_truth: bool = True,
+    max_configs: Optional[int] = None,
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
@@ -484,6 +485,7 @@ def verify(
         initial_global(n),
         lambda final: spec_holds(final, n),
         ground_truth=ground_truth,
+        max_configs=max_configs,
         jobs=jobs,
         fail_fast=fail_fast,
         tracer=tracer,

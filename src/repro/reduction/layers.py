@@ -18,6 +18,7 @@ from ..core.explore import instance_summary
 from ..core.program import Program
 from ..core.refinement import CheckResult, _fail
 from ..core.store import Store
+from ..diagnose.witness import GateWitness, MissingTransitionWitness
 
 __all__ = ["LayerLink", "RefinementChain", "check_layer_refinement"]
 
@@ -64,21 +65,33 @@ def check_layer_refinement(
             global_a = global_c
         else:
             global_c, concrete_locals, global_a, abstract_locals = entry
-        result.checked += 1
         summary_c = instance_summary(concrete, global_c, concrete_locals, max_configs)
         summary_a = instance_summary(abstract, global_a, abstract_locals, max_configs)
+        result.checked += summary_c.num_configs + summary_a.num_configs
         if not summary_a.can_fail and summary_c.can_fail:
-            _fail(result, "concrete fails where abstract is failure-free", global_c)
+            _fail(
+                result,
+                GateWitness(
+                    reason="concrete fails where abstract is failure-free",
+                    check="layer-good-inclusion",
+                    state=global_c,
+                    context=(concrete_locals,),
+                ),
+            )
             continue
         if summary_a.can_fail:
             continue  # abstract fails: nothing to preserve (Definition 3.2)
         finals_a: Set[Store] = {view_a(g) for g in summary_a.final_globals}
-        for final in summary_c.final_globals:
+        for final in sorted(summary_c.final_globals, key=repr):
             if view_c(final) not in finals_a:
                 _fail(
                     result,
-                    "concrete terminating state unreachable in abstract",
-                    (global_c, final),
+                    MissingTransitionWitness(
+                        reason="concrete terminating state unreachable in abstract",
+                        check="layer-trans-inclusion",
+                        state=global_c,
+                        final_global=final,
+                    ),
                 )
     return result
 

@@ -1,0 +1,199 @@
+"""The delta-debugging shrinker: size measure, edit generation, and the
+replay-oracle loop's invariants (soundness, monotonicity, determinism)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Multiset, Store, Transition
+from repro.core.mapping import FrozenDict
+from repro.diagnose import GateWitness, shrink_witness, witness_size
+from repro.diagnose.shrink import _value_edits
+
+# --------------------------------------------------------------------- #
+# witness_size
+# --------------------------------------------------------------------- #
+
+
+def test_size_of_zero_and_empty_leaves_is_zero():
+    assert witness_size(0) == 0
+    assert witness_size(0.0) == 0
+    assert witness_size("") == 0
+    assert witness_size(None) == 0
+    assert witness_size(False) == 0
+    assert witness_size(Store()) == 0
+    assert witness_size(Multiset()) == 0
+
+
+def test_size_counts_container_entries_plus_contents():
+    assert witness_size(Store({"x": 1})) == 2  # 1 for the var + 1 for value
+    assert witness_size(Store({"x": 0})) == 1  # zeroed value is free
+    assert witness_size(Multiset([5, 5])) == 4  # 2 × (1 + 1)
+    assert witness_size(Multiset([0])) == 1  # 1 × (1 + 0)
+
+
+def test_size_of_witness_sums_payload_fields_only():
+    cx = GateWitness(
+        reason="a very long reason that should not count",
+        check="gate-inclusion",
+        actors=("A", "B"),
+        state=Store({"x": 1}),
+    )
+    assert witness_size(cx) == witness_size(Store({"x": 1}))
+
+
+# --------------------------------------------------------------------- #
+# edit generation
+# --------------------------------------------------------------------- #
+
+VALUES = st.recursive(
+    st.one_of(
+        st.integers(min_value=-3, max_value=3),
+        st.booleans(),
+        st.text(alphabet="ab", max_size=2),
+    ),
+    lambda leaf: st.one_of(
+        st.lists(leaf, max_size=3).map(Multiset),
+        st.dictionaries(
+            st.sampled_from(["x", "y"]), leaf, max_size=2
+        ).map(Store),
+        st.dictionaries(st.integers(1, 2), leaf, max_size=2).map(FrozenDict),
+    ),
+    max_leaves=6,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(VALUES)
+def test_every_edit_strictly_shrinks(value):
+    size = witness_size(value)
+    for what, smaller in _value_edits(value):
+        assert witness_size(smaller) < size, (value, what, smaller)
+
+
+@settings(max_examples=30, deadline=None)
+@given(VALUES)
+def test_edit_order_is_deterministic(value):
+    first = [(what, repr(v)) for what, v in _value_edits(value)]
+    second = [(what, repr(v)) for what, v in _value_edits(value)]
+    assert first == second
+
+
+def test_transition_edits_cover_new_global_and_created():
+    tr = Transition(Store({"x": 1}), Multiset([Store({"i": 1})]))
+    edits = dict(_value_edits(tr))
+    assert any(what.startswith("new_global") for what in edits)
+    assert any(what.startswith("created") for what in edits)
+
+
+# --------------------------------------------------------------------- #
+# the shrink loop
+# --------------------------------------------------------------------- #
+
+
+def test_shrink_drops_irrelevant_variables():
+    """An oracle that only looks at ``x`` lets everything else go."""
+    cx = GateWitness(
+        reason="r",
+        check="c",
+        state=Store({"x": 3, "junk": 7, "noise": Multiset([1, 2])}),
+    )
+
+    def still_fails(candidate):
+        return candidate.state["x"] == 3  # KeyError (dropped x) => not failing
+
+    minimized, steps = shrink_witness(cx, still_fails)
+    assert set(minimized.state.variables()) == {"x"}
+    assert minimized.state["x"] == 3
+    assert steps  # something was actually removed
+    assert witness_size(minimized) < witness_size(cx)
+
+
+def test_shrink_returns_input_when_nothing_removable():
+    cx = GateWitness(reason="r", state=Store({"x": 1}))
+
+    def still_fails(candidate):
+        return candidate.state == Store({"x": 1})
+
+    minimized, steps = shrink_witness(cx, still_fails)
+    assert minimized == cx
+    assert steps == []
+
+
+def test_shrink_never_accepts_a_non_failing_candidate():
+    """Soundness: the minimized witness satisfies the oracle, and so did
+    every intermediate accepted edit (checked via an oracle log)."""
+    accepted_log = []
+
+    cx = GateWitness(reason="r", state=Store({"x": 2, "y": 5}))
+
+    def still_fails(candidate):
+        ok = candidate.state.get("x", 0) == 2
+        accepted_log.append((candidate, ok))
+        return ok
+
+    minimized, _ = shrink_witness(cx, still_fails)
+    assert still_fails(minimized)
+    # Every candidate the loop kept (witnessed by becoming the new current)
+    # must have been one the oracle approved.
+    approved = {repr(c) for c, ok in accepted_log if ok}
+    assert repr(minimized) in approved
+
+
+def test_oracle_exceptions_count_as_not_failing():
+    cx = GateWitness(reason="r", state=Store({"x": 1, "y": 2}))
+
+    def still_fails(candidate):
+        # Raises KeyError once ``y`` is dropped; shrinker must survive and
+        # refuse that edit.
+        return candidate.state["y"] == 2 and candidate.state.get("x") is not None
+
+    minimized, _ = shrink_witness(cx, still_fails)
+    assert minimized.state["y"] == 2
+
+
+def test_shrink_is_deterministic():
+    cx = GateWitness(
+        reason="r", state=Store({"x": 1, "y": Multiset([1, 1, 2]), "z": "ab"})
+    )
+
+    def still_fails(candidate):
+        return candidate.state.get("x", 0) == 1
+
+    first = shrink_witness(cx, still_fails)
+    second = shrink_witness(cx, still_fails)
+    assert first == second
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c", "keep"]),
+        st.integers(min_value=-3, max_value=3),
+        max_size=4,
+    )
+)
+def test_shrink_property_minimized_still_fails_and_never_grows(variables):
+    """Property: for an arbitrary store payload and a satisfiable oracle,
+    the minimized witness still fails and is no larger than the input."""
+    store = Store(dict(variables, keep=1))
+    cx = GateWitness(reason="r", state=store)
+
+    def still_fails(candidate):
+        return candidate.state.get("keep", 0) == 1
+
+    minimized, steps = shrink_witness(cx, still_fails)
+    assert still_fails(minimized)
+    assert witness_size(minimized) <= witness_size(cx)
+    assert len(steps) >= 0
+    # Local minimum: no single further edit keeps the failure.
+    from repro.diagnose.shrink import _witness_edits
+
+    for _, candidate in _witness_edits(minimized):
+        if witness_size(candidate) >= witness_size(minimized):
+            continue
+        try:
+            assert not still_fails(candidate)
+        except KeyError:
+            pass

@@ -1,0 +1,112 @@
+"""The typed counterexample hierarchy: descriptions, prefixes, payloads,
+legacy unpacking, and the single shared cap constant."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.core import Store, Transition
+from repro.diagnose import (
+    COUNTEREXAMPLE_KEEP,
+    CommutationWitness,
+    Counterexample,
+    GateWitness,
+    MissingTransitionWitness,
+    SkippedMarker,
+)
+
+
+def test_description_is_prefix_then_reason():
+    cx = GateWitness(reason="gate fails", check="gate-inclusion")
+    assert cx.description == "gate fails"
+    assert cx.with_prefix("abs").description == "abs: gate fails"
+    assert (
+        cx.with_prefix("outer").with_prefix("inner").description
+        == "inner: outer: gate fails"
+    )
+
+
+def test_with_prefix_accepts_multiple_labels_in_order():
+    cx = GateWitness(reason="r").with_prefix("a", "b")
+    assert cx.description == "a: b: r"
+
+
+def test_with_prefix_preserves_payload_and_type():
+    state = Store({"x": 1})
+    cx = GateWitness(reason="r", check="c", state=state)
+    prefixed = cx.with_prefix("p")
+    assert isinstance(prefixed, GateWitness)
+    assert prefixed.state == state
+    assert prefixed.check == "c"
+
+
+def test_iteration_matches_legacy_pair_unpacking():
+    """Old code did ``for description, witness in result.counterexamples``;
+    the typed hierarchy keeps that working via ``__iter__``."""
+    state = Store({"x": 1})
+    description, witness = GateWitness(reason="gate fails", state=state)
+    assert description == "gate fails"
+    assert witness == state
+
+
+def test_payload_unwraps_single_field_and_tuples_multiple():
+    state = Store({"x": 1})
+    tr = Transition(state)
+    single = GateWitness(reason="r", state=state)
+    assert single.payload() == state
+    double = MissingTransitionWitness(reason="r", state=state, transition=tr)
+    assert double.payload() == (state, tr)
+    assert SkippedMarker(reason="skipped: dep failed").payload() is None
+
+
+def test_witnesses_are_hashable_value_objects():
+    a = GateWitness(reason="r", check="c", state=Store({"x": 1}))
+    b = GateWitness(reason="r", check="c", state=Store({"x": 1}))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != GateWitness(reason="r", check="c", state=Store({"x": 2}))
+
+
+def test_witnesses_pickle_roundtrip():
+    """Witnesses cross the pool-scheduler process boundary."""
+    witnesses = [
+        GateWitness(reason="r", check="c", state=Store({"x": 1})),
+        MissingTransitionWitness(
+            reason="r", state=Store({"x": 1}), transition=Transition(Store({"x": 2}))
+        ),
+        CommutationWitness(
+            reason="r",
+            global_store=Store({"g": 0}),
+            left_locals=Store({"i": 1}),
+            right_locals=Store({"i": 2}),
+        ),
+        SkippedMarker(reason="skipped: dep failed").with_prefix("wrt X"),
+    ]
+    for cx in witnesses:
+        assert pickle.loads(pickle.dumps(cx)) == cx
+
+
+def test_repr_shows_type_and_description():
+    cx = GateWitness(reason="gate fails").with_prefix("abs")
+    assert repr(cx) == "GateWitness('abs: gate fails')"
+
+
+def test_cap_constant_is_shared_everywhere():
+    """Satellite: one cap, one truncation rule — the refinement checkers,
+    the engine merge, and the movers all read the same constant."""
+    import inspect
+
+    from repro.core import movers, refinement
+    from repro.engine import obligations
+
+    assert refinement.COUNTEREXAMPLE_KEEP == COUNTEREXAMPLE_KEEP
+    assert obligations._KEEP == COUNTEREXAMPLE_KEEP
+    sig = inspect.signature(refinement._fail)
+    assert sig.parameters["keep"].default == COUNTEREXAMPLE_KEEP
+    assert movers.COUNTEREXAMPLE_KEEP == COUNTEREXAMPLE_KEEP
+
+
+def test_base_counterexample_has_no_payload():
+    cx = Counterexample(reason="r", check="c")
+    assert cx.payload() is None
+    assert list(cx) == ["r", None]

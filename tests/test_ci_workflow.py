@@ -43,6 +43,7 @@ def test_expected_jobs_exist(workflow):
         "full",
         "bench-smoke",
         "trace-artifact",
+        "explain-artifact",
     }
 
 
@@ -95,11 +96,34 @@ def test_smoke_and_trace_scripts_exist(workflow):
     assert (ROOT / "benchmarks" / "bench_obligations.py").exists()
 
 
-def test_artifact_upload_requires_files(workflow):
+@pytest.mark.parametrize("job", ["trace-artifact", "explain-artifact"])
+def test_artifact_upload_requires_files(workflow, job):
     uploads = [
         step
-        for step in _steps(workflow, "trace-artifact")
+        for step in _steps(workflow, job)
         if step.get("uses", "").startswith("actions/upload-artifact")
     ]
     assert len(uploads) == 1
     assert uploads[0]["with"]["if-no-files-found"] == "error"
+
+
+def test_explain_job_runs_seeded_fixture_and_gates_on_minimization(workflow):
+    """The diagnostics job must run ``repro explain`` on a fixture that
+    exists in the registry, write the JSON report, and assert both replay
+    confirmation and shrinkage before uploading."""
+    from repro.diagnose import FIXTURES
+
+    commands = [
+        step["run"]
+        for step in _steps(workflow, "explain-artifact")
+        if "run" in step
+    ]
+    explain_cmd = next(cmd for cmd in commands if "repro explain" in cmd)
+    fixture_name = explain_cmd.split("repro explain", 1)[1].split()[0]
+    assert fixture_name in FIXTURES
+    assert "--json" in explain_cmd
+    validation = next(cmd for cmd in commands if "failure-report.json" in cmd
+                      and "json.load" in cmd)
+    assert "repro.obs/failure/v1" in validation
+    assert "replay_confirmed" in validation
+    assert "minimized_size" in validation
