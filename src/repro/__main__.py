@@ -3,7 +3,7 @@
 Commands
 --------
 ``table1 [--jobs N] [--stats] [--fail-fast] [--max-configs N] [--explain]
-[--trace FILE] [--metrics FILE]``
+[--trace FILE] [--metrics FILE] [resilience flags]``
     Regenerate the Table 1 analogue (runs all seven verifications).
     ``--jobs`` discharges the IS obligations over N worker processes;
     ``--stats`` adds per-obligation wall-time / enumeration statistics;
@@ -15,10 +15,20 @@ Commands
     ``chrome://tracing`` or Perfetto) and ``--metrics`` a flat metrics
     JSON, both covering every discharged obligation.
 ``verify <protocol> [--jobs N] [--fail-fast] [--max-configs N] [--explain]
-[--trace FILE] [--metrics FILE]``
+[--trace FILE] [--metrics FILE] [resilience flags]``
     Run one protocol's pipeline at its default instance parameters and
     print the report. Protocols: broadcast, pingpong, prodcons, nbuyer,
     changroberts, twophase, paxos.
+
+Resilience flags (``verify`` and ``table1``)
+    ``--timeout-per-obligation S`` arms a wall-clock deadline per
+    obligation attempt (expired obligations report TIMEOUT instead of
+    hanging the run); ``--max-retries K`` bounds crash retries;
+    ``--checkpoint DIR`` journals completed obligations (one JSONL file
+    per IS application, fsync'd per wave) and ``--resume`` skips the
+    journaled ones on restart — a journal from a different run is refused
+    (exit 2). Ctrl-C prints the salvaged partial report and exits 130, as
+    does a run whose discharge was interrupted.
 ``explain <fixture> [--jobs N] [--json FILE]``
     Run a seeded failing fixture (``repro.diagnose.fixtures``) end to end
     and print the diagnosis: every counterexample minimized by
@@ -35,6 +45,62 @@ from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _make_resilience(parser, args):
+    """A ``ResilienceConfig`` when any resilience flag was used, else
+    ``None`` — the default path stays the pre-resilience one."""
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        parser.error("--resume requires --checkpoint DIR")
+    if not (
+        getattr(args, "timeout_per_obligation", None) is not None
+        or getattr(args, "max_retries", None) is not None
+        or getattr(args, "checkpoint", None)
+    ):
+        return None
+    from .engine.resilience import ResilienceConfig
+
+    kwargs = {}
+    if args.timeout_per_obligation is not None:
+        kwargs["timeout_per_obligation"] = args.timeout_per_obligation
+    if args.max_retries is not None:
+        kwargs["max_retries"] = args.max_retries
+    if args.checkpoint:
+        kwargs["checkpoint_dir"] = args.checkpoint
+        kwargs["resume"] = bool(args.resume)
+    return ResilienceConfig(**kwargs)
+
+
+def _add_resilience_flags(subparser) -> None:
+    subparser.add_argument(
+        "--timeout-per-obligation",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock deadline (seconds) per obligation attempt; "
+        "expired obligations report TIMEOUT",
+    )
+    subparser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="K",
+        help="crash retries per obligation before it degrades to "
+        "in-parent execution and reports CRASH (default: 2)",
+    )
+    subparser.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        default=None,
+        help="journal completed obligations to DIR (one JSONL file per "
+        "IS application, fsync'd per wave)",
+    )
+    subparser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip obligations already journaled under --checkpoint DIR "
+        "(stale journals are refused)",
+    )
 
 
 def _make_tracer(args):
@@ -90,14 +156,20 @@ def _cmd_table1(args) -> int:
         render_table1,
         verify_trace_consistency,
     )
+    from .engine.journal import StaleJournalError
 
     tracer = _make_tracer(args)
-    rows = build_table1(
-        max_configs=args.max_configs,
-        jobs=args.jobs,
-        fail_fast=args.fail_fast,
-        tracer=tracer,
-    )
+    try:
+        rows = build_table1(
+            max_configs=args.max_configs,
+            jobs=args.jobs,
+            fail_fast=args.fail_fast,
+            tracer=tracer,
+            resilience=args.resilience_config,
+        )
+    except StaleJournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(render_table1(rows))
     if args.stats:
         print()
@@ -109,10 +181,15 @@ def _cmd_table1(args) -> int:
     if tracer is not None:
         verify_trace_consistency(rows, tracer)
         _export_trace(tracer, args)
+    if any(row.report is not None and row.report.interrupted for row in rows):
+        print("interrupted: partial table (completed rows shown)",
+              file=sys.stderr)
+        return 130
     return 0 if all(row.ok for row in rows) else 1
 
 
 def _cmd_verify(args) -> int:
+    from .engine.journal import StaleJournalError
     from .protocols import ALL_PROTOCOLS
 
     module = ALL_PROTOCOLS.get(args.protocol)
@@ -121,17 +198,24 @@ def _cmd_verify(args) -> int:
               f"{', '.join(sorted(ALL_PROTOCOLS))}", file=sys.stderr)
         return 2
     tracer = _make_tracer(args)
-    report = module.verify(
-        max_configs=args.max_configs,
-        jobs=args.jobs,
-        fail_fast=args.fail_fast,
-        tracer=tracer,
-    )
+    try:
+        report = module.verify(
+            max_configs=args.max_configs,
+            jobs=args.jobs,
+            fail_fast=args.fail_fast,
+            tracer=tracer,
+            resilience=args.resilience_config,
+        )
+    except StaleJournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(report.summary())
     if args.explain:
         _explain_report(report)
     if tracer is not None:
         _export_trace(tracer, args)
+    if report.interrupted:
+        return 130
     return 0 if report.ok else 1
 
 
@@ -223,6 +307,7 @@ def main(argv=None) -> int:
         default=None,
         help="write a flat metrics JSON (per-obligation and aggregates)",
     )
+    _add_resilience_flags(table1)
     verify = sub.add_parser("verify", help="verify one protocol")
     verify.add_argument("protocol")
     verify.add_argument(
@@ -263,6 +348,7 @@ def main(argv=None) -> int:
         default=None,
         help="write a flat metrics JSON (per-obligation and aggregates)",
     )
+    _add_resilience_flags(verify)
     explain = sub.add_parser(
         "explain",
         help="diagnose a seeded failing fixture: shrink + replay witnesses",
@@ -293,12 +379,21 @@ def main(argv=None) -> int:
     )
     sub.add_parser("list", help="list protocols")
     args = parser.parse_args(argv)
-    return {
-        "table1": _cmd_table1,
-        "verify": _cmd_verify,
-        "explain": _cmd_explain,
-        "list": _cmd_list,
-    }[args.command](args)
+    if args.command in ("table1", "verify"):
+        args.resilience_config = _make_resilience(parser, args)
+    try:
+        return {
+            "table1": _cmd_table1,
+            "verify": _cmd_verify,
+            "explain": _cmd_explain,
+            "list": _cmd_list,
+        }[args.command](args)
+    except KeyboardInterrupt:
+        # Last-resort salvage: the pipelines normally convert Ctrl-C into
+        # a partial report themselves; this catches interrupts outside
+        # them (argument handling, rendering) without a traceback.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

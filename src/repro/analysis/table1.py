@@ -43,8 +43,10 @@ class Table1Row:
     loc_impl: int
     time_seconds: float
     ok: bool
-    #: ``OK``/``FAILED``/``BUDGET`` — the report's three-valued verdict
-    #: (BUDGET: the instance blew ``max_configs`` and was not decided).
+    #: ``OK``/``FAILED``/``BUDGET``/``TIMEOUT``/``INTERRUPTED`` — the
+    #: report's verdict lattice (BUDGET: blew ``max_configs``; TIMEOUT:
+    #: obligations hit their deadline; INTERRUPTED: stopped by Ctrl-C —
+    #: none of these decide the instance).
     status: str = "OK"
     #: Engine statistics: obligations discharged / stores enumerated across
     #: the row's IS applications (0 when produced by the inline checker).
@@ -68,8 +70,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Broadcast consensus",
         broadcast,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: broadcast.verify(
-            n=3, iterated=True, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: broadcast.verify(
+            n=3, iterated=True, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
         ),
         (
             broadcast.make_invariant,
@@ -85,8 +87,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Ping-Pong",
         pingpong,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: pingpong.verify(
-            rounds=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: pingpong.verify(
+            rounds=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
         ),
         (
             pingpong.make_abstractions,
@@ -99,8 +101,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Producer-Consumer",
         prodcons,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: prodcons.verify(
-            bound=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: prodcons.verify(
+            bound=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
         ),
         (
             prodcons.make_consumer_abs,
@@ -113,8 +115,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "N-Buyer",
         nbuyer,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: nbuyer.verify(
-            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: nbuyer.verify(
+            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
         ),
         (nbuyer.make_measure, nbuyer.make_sequentializations),
         (nbuyer.make_atomic, nbuyer.initial_global),
@@ -122,8 +124,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Chang-Roberts",
         changroberts,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: changroberts.verify(
-            n=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: changroberts.verify(
+            n=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
         ),
         (
             changroberts.make_handle_abs,
@@ -138,8 +140,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Two-phase commit",
         twophase,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: twophase.verify(
-            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: twophase.verify(
+            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
         ),
         (twophase.make_measure, twophase.make_sequentializations),
         (twophase.make_atomic, twophase.initial_global),
@@ -147,8 +149,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Paxos",
         paxos,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None: paxos.verify(
-            rounds=2, num_nodes=2, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: paxos.verify(
+            rounds=2, num_nodes=2, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
         ),
         (
             paxos.make_abstractions,
@@ -167,6 +169,7 @@ def build_table1(
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
+    resilience=None,
 ) -> List[Table1Row]:
     """Run every example's full pipeline and assemble the table.
 
@@ -180,11 +183,17 @@ def build_table1(
     table's obligations for export (``python -m repro table1 --trace``).
     ``max_configs`` bounds every exploration; a row whose instance blows
     the budget gets status BUDGET instead of aborting the sweep.
+    ``resilience`` (a
+    :class:`~repro.engine.resilience.ResilienceConfig`) threads
+    per-obligation deadlines, retries, and checkpoint/resume into every
+    row's pipeline; rows with expired deadlines render as TIMEOUT, and an
+    interrupted row (Ctrl-C) stops the sweep with the completed rows plus
+    the partial one.
     """
     rows: List[Table1Row] = []
     for entry in entries if entries is not None else TABLE1_REGISTRY:
         report = entry.verify(
-            max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+            max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
         )
         rows.append(
             Table1Row(
@@ -203,6 +212,10 @@ def build_table1(
                 report=report,
             )
         )
+        if report.interrupted:
+            # Ctrl-C: keep the completed rows plus this partial one, skip
+            # the remaining examples — the caller renders what survived.
+            break
     return rows
 
 

@@ -63,8 +63,30 @@ class CheckResult:
     def __bool__(self) -> bool:
         return self.holds
 
+    @property
+    def verdict(self) -> str:
+        """``PASS``, ``FAIL``, or ``TIMEOUT``.
+
+        A condition is ``TIMEOUT`` when it failed to *complete* rather
+        than failed to *hold*: every witness is a scheduling marker
+        (``timeout``/``skipped`` kinds — deadline expiries, crashes,
+        interrupts, fail-fast skips) and at least one records a
+        disruption. A genuine violation witness anywhere makes the
+        verdict ``FAIL`` — a real counterexample outranks an incomplete
+        enumeration.
+        """
+        if self.holds:
+            return "PASS"
+        kinds = {
+            getattr(cx, "kind", "counterexample")
+            for cx in self.counterexamples
+        }
+        if "timeout" in kinds and kinds <= {"timeout", "skipped"}:
+            return "TIMEOUT"
+        return "FAIL"
+
     def __repr__(self) -> str:
-        status = "PASS" if self.holds else "FAIL"
+        status = self.verdict
         extra = f", {len(self.counterexamples)} counterexamples" if not self.holds else ""
         return f"CheckResult({self.name}: {status}, {self.checked} checked{extra})"
 

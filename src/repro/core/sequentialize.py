@@ -126,8 +126,17 @@ class ISResult:
     per discharging PID, the worker's final evaluation-cache snapshot and
     obligation count (the serial backend contributes a single entry);
     ``warmup_seconds`` is the parent's cache warm-up time when a pool
-    backend pre-warmed. All are bookkeeping only and excluded from
-    equality, which compares the condition map alone.
+    backend pre-warmed.
+
+    The resilience fields record how a fault-tolerant run went:
+    ``interrupted`` marks a run stopped by ``KeyboardInterrupt`` (the
+    condition map is a salvaged partial); ``resumed_keys`` are obligations
+    satisfied from a checkpoint journal rather than re-executed;
+    ``timeout_keys``/``crashed_keys`` are obligations that hit their
+    deadline or crashed past the retry budget; ``retries`` counts extra
+    execution attempts; ``resilience_events`` is the scheduler's recovery
+    log. All are bookkeeping only and excluded from equality, which
+    compares the condition map alone.
     """
 
     conditions: Dict[str, CheckResult] = field(default_factory=dict)
@@ -141,10 +150,32 @@ class ISResult:
         default_factory=dict, compare=False, repr=False
     )
     warmup_seconds: float = field(default=0.0, compare=False, repr=False)
+    interrupted: bool = field(default=False, compare=False, repr=False)
+    resumed_keys: List[str] = field(
+        default_factory=list, compare=False, repr=False
+    )
+    timeout_keys: List[str] = field(
+        default_factory=list, compare=False, repr=False
+    )
+    crashed_keys: List[str] = field(
+        default_factory=list, compare=False, repr=False
+    )
+    retries: int = field(default=0, compare=False, repr=False)
+    resilience_events: List = field(
+        default_factory=list, compare=False, repr=False
+    )
 
     @property
     def holds(self) -> bool:
         return all(result.holds for result in self.conditions.values())
+
+    @property
+    def timed_out(self) -> bool:
+        """True when some condition is disrupted (``TIMEOUT`` verdict)
+        but none genuinely failed — the run is inconclusive, not
+        refuted."""
+        verdicts = {r.verdict for r in self.conditions.values()}
+        return "TIMEOUT" in verdicts and "FAIL" not in verdicts
 
     def failed(self) -> List[CheckResult]:
         return [r for r in self.conditions.values() if not r.holds]
@@ -162,8 +193,9 @@ class ISResult:
     def report(self) -> str:
         lines = []
         for name, result in self.conditions.items():
-            status = "PASS" if result.holds else "FAIL"
-            lines.append(f"  [{status}] {name} ({result.checked} checks)")
+            lines.append(
+                f"  [{result.verdict}] {name} ({result.checked} checks)"
+            )
             for description, witness in result.counterexamples:
                 lines.append(f"         counterexample: {description}: {witness!r}")
         verdict = "IS conditions hold" if self.holds else "IS conditions FAILED"
@@ -624,6 +656,8 @@ class ISApplication:
         scheduler=None,
         fail_fast: bool = False,
         tracer=None,
+        resilience=None,
+        checkpoint_label: Optional[str] = None,
     ) -> ISResult:
         """Check all IS conditions over a store universe.
 
@@ -643,6 +677,12 @@ class ISApplication:
         discharged obligation; it observes the outcomes the scheduler
         already returns and cannot change the result (``tracer=None``
         output is identical, byte for byte).
+
+        ``resilience`` (a
+        :class:`~repro.engine.resilience.ResilienceConfig`) arms
+        per-obligation deadlines, crash retries, and checkpoint/resume;
+        ``checkpoint_label`` names this application's journal file. See
+        ``repro.engine.obligations.discharge``.
         """
         from ..engine.obligations import discharge
 
@@ -654,6 +694,8 @@ class ISApplication:
             scheduler=scheduler,
             fail_fast=fail_fast,
             tracer=tracer,
+            resilience=resilience,
+            checkpoint_label=checkpoint_label,
         )
 
     def check_inline(

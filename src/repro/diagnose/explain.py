@@ -26,7 +26,7 @@ from ..core.sequentialize import ISApplication, ISResult
 from .fixtures import FIXTURES
 from .replay import replay_witness
 from .shrink import ShrinkStep, shrink_witness, witness_size
-from .witness import Counterexample, SkippedMarker
+from .witness import Counterexample, SkippedMarker, TimeoutMarker
 
 __all__ = ["WitnessReport", "Explanation", "explain_result", "explain_fixture"]
 
@@ -64,7 +64,12 @@ def _explain_witness(
     app: ISApplication, condition: str, cx: Counterexample
 ) -> WitnessReport:
     size = witness_size(cx)
-    if isinstance(cx, SkippedMarker) or cx.check == "skipped":
+    if isinstance(cx, (SkippedMarker, TimeoutMarker)) or cx.check in (
+        "skipped",
+        "timeout",
+        "crash",
+        "interrupted",
+    ):
         return WitnessReport(
             condition=condition,
             original=cx,

@@ -20,7 +20,7 @@ from ..core.mapping import FrozenDict
 from ..core.multiset import Multiset
 from ..core.store import Store
 from ..lang.pretty import pretty_store, pretty_value
-from .witness import _META_FIELDS, Counterexample, SkippedMarker
+from .witness import _META_FIELDS, Counterexample, SkippedMarker, TimeoutMarker
 
 __all__ = ["witness_to_json", "json_value", "render_witness", "render_explanation"]
 
@@ -100,7 +100,7 @@ def render_witness(cx: Counterexample, indent: int = 0) -> str:
     """One witness as a terminal block: description line, then payload."""
     pad = " " * indent
     lines = [f"{pad}{cx.kind}: {cx.description}"]
-    if not isinstance(cx, SkippedMarker):
+    if not isinstance(cx, (SkippedMarker, TimeoutMarker)):
         lines.extend(_payload_lines(cx, indent + 2))
     return "\n".join(lines)
 

@@ -32,7 +32,7 @@ from ..core.multiset import Multiset
 from ..core.semantics import Config
 from ..core.sequentialize import ISApplication, Transition, derive_m_prime
 from ..core.store import combine
-from .witness import Counterexample, SkippedMarker
+from .witness import Counterexample, SkippedMarker, TimeoutMarker
 
 __all__ = [
     "replay_witness",
@@ -181,8 +181,15 @@ def replay_witness(app: ISApplication, condition: str, cx: Counterexample) -> bo
     Skip markers record scheduling, not violations, and cannot be
     replayed.
     """
-    if isinstance(cx, SkippedMarker) or cx.check == "skipped":
-        raise ValueError("skip markers record scheduling, not violations")
+    if isinstance(cx, (SkippedMarker, TimeoutMarker)) or cx.check in (
+        "skipped",
+        "timeout",
+        "crash",
+        "interrupted",
+    ):
+        raise ValueError(
+            "skip/timeout markers record scheduling, not violations"
+        )
     if cx.check in ("gate-inclusion", "transition-inclusion"):
         concrete, abstract = _refinement_pair(app, condition)
         return replay_refinement(concrete, abstract, cx)

@@ -15,7 +15,12 @@ closed hierarchy of frozen dataclasses:
   left-mover condition: both local stores, the global, and the two
   transitions that cannot be swapped;
 * :class:`SkippedMarker` — the explicit marker a fail-fast run records
-  for an obligation it never executed.
+  for an obligation it never executed;
+* :class:`TimeoutMarker` — the marker a resilient run records for an
+  obligation that never *completed*: its deadline expired (``check ==
+  "timeout"``), it crashed past the retry budget (``check == "crash"``),
+  or the run was interrupted before it could execute (``check ==
+  "interrupted"``).
 
 Every witness knows
 
@@ -52,6 +57,7 @@ __all__ = [
     "MissingTransitionWitness",
     "CommutationWitness",
     "SkippedMarker",
+    "TimeoutMarker",
 ]
 
 #: The single per-condition counterexample cap. Every producer
@@ -177,6 +183,33 @@ class SkippedMarker(Counterexample):
     is no store to show — the ``reason`` names the failed dependency)."""
 
     kind = "skipped"
+
+    def payload(self) -> object:
+        return None
+
+
+@dataclass(frozen=True, repr=False)
+class TimeoutMarker(Counterexample):
+    """The marker of an obligation that never completed.
+
+    ``check`` distinguishes the three disruption modes: ``"timeout"``
+    (the per-obligation wall-clock deadline expired), ``"crash"`` (the
+    discharging process died or raised on every attempt within the retry
+    budget), and ``"interrupted"`` (the run was stopped before the
+    obligation executed). ``attempts`` counts how many executions were
+    tried; ``deadline`` is the configured per-obligation deadline in
+    seconds (``None`` when no deadline was set).
+
+    Like :class:`SkippedMarker`, it records *scheduling* rather than a
+    violation: a condition whose only witnesses are timeout markers is
+    neither verified nor refuted — reports render it as ``TIMEOUT``, the
+    fourth point of the PASS/FAIL/BUDGET/TIMEOUT lattice.
+    """
+
+    attempts: int = 0
+    deadline: object = None
+
+    kind = "timeout"
 
     def payload(self) -> object:
         return None

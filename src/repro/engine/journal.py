@@ -1,0 +1,309 @@
+"""Checkpoint journal: crash-safe, append-only persistence of completed
+obligation outcomes.
+
+A long verification run that dies at obligation 47/50 should not restart
+from zero. Under ``--checkpoint DIR`` the schedulers append one JSON
+record per *completed* obligation to a journal file and fsync at wave
+boundaries (the pool), at most once a second (the serial backend — see
+:meth:`CheckpointJournal.maybe_sync`), and on interrupt, so the file on
+disk is always a valid prefix of the run; ``--resume`` loads the journal
+on restart and skips
+every journaled obligation, seeding its recorded verdict into the
+fail-fast logic so downstream skipping decisions are unchanged.
+
+Layout — one file per discharge run (one IS application), named after
+the checkpoint label, JSON Lines:
+
+* line 1 is the header: schema tag, the run *fingerprint*, the label,
+  and the obligation count;
+* every further line is one completed obligation:
+  ``{"key", "name", "holds", "checked", "elapsed", "attempts",
+  "witnesses"}`` — witnesses, when present, are a base64-wrapped pickle
+  of the typed counterexample list (stores and transitions are arbitrary
+  Python values; the JSON envelope stays greppable, the payload stays
+  exact).
+
+The **staleness guard**: the fingerprint hashes the obligation keys, the
+application frame (``M``, ``E``, abstraction names, program actions) and
+the universe size. A journal whose fingerprint does not match the
+current run — the program changed, the instance parameters changed, the
+sharding layout changed — is refused with :class:`StaleJournalError`
+rather than silently merging verdicts from a different proof. A
+*truncated trailing line* (the run died mid-write) is tolerated: the
+valid prefix is loaded and the partial record is dropped, exactly like a
+write-ahead log.
+
+Only genuinely completed outcomes are journaled. Timeouts, crashes, and
+fail-fast skips are not: a resumed run should re-attempt them.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.refinement import CheckResult
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "StaleJournalError",
+    "JournaledOutcome",
+    "CheckpointJournal",
+    "run_fingerprint",
+]
+
+JOURNAL_SCHEMA = "repro.engine/journal/v1"
+
+
+class StaleJournalError(RuntimeError):
+    """A resume journal that does not belong to this run (or is corrupt
+    where it must not be: the header)."""
+
+
+def run_fingerprint(app, universe, obligations: Sequence) -> str:
+    """Identity hash of one discharge run, for the staleness guard.
+
+    Covers the obligation keys (and hence the sharding layout), the
+    application frame, and the universe size — everything that decides
+    whether a journaled ``CheckResult`` is still the answer to the same
+    question. Deliberately cheap: it does not hash the stores themselves
+    (that would cost a universe walk per run); the reachable-universe
+    size plus the program's action names pin instances apart in
+    practice.
+    """
+    digest = hashlib.sha256()
+    digest.update("\n".join(ob.key for ob in obligations).encode())
+    digest.update(b"\x00")
+    digest.update(
+        "|".join(
+            (
+                getattr(app, "m_name", "") or "",
+                ",".join(getattr(app, "eliminated", ()) or ()),
+                ",".join(sorted(getattr(app, "abstractions", {}) or {})),
+                ",".join(app.program.action_names()) if app is not None else "",
+            )
+        ).encode()
+    )
+    digest.update(b"\x00")
+    digest.update(str(len(universe.globals_) if universe is not None else 0).encode())
+    return digest.hexdigest()
+
+
+def _slug(label: Optional[str]) -> str:
+    if not label:
+        return ""
+    return re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-")
+
+
+@dataclass
+class JournaledOutcome:
+    """One record loaded from a journal: enough to rebuild the
+    ``CheckResult`` and seed the fail-fast verdict map."""
+
+    key: str
+    holds: bool
+    checked: int
+    name: str
+    elapsed: float
+    attempts: int
+    witnesses_b64: Optional[str] = None
+
+    def to_result(self) -> CheckResult:
+        counterexamples: List = []
+        if self.witnesses_b64:
+            counterexamples = pickle.loads(base64.b64decode(self.witnesses_b64))
+        return CheckResult(
+            self.name, self.holds, counterexamples, checked=self.checked
+        )
+
+
+class CheckpointJournal:
+    """Append-only writer (and loader) of one run's outcome journal."""
+
+    def __init__(self, path: Path, fingerprint: str, label: str = ""):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.label = label
+        self._handle = None
+        self._last_fsync = 0.0
+        self.appended = 0
+
+    # ------------------------------------------------------------------ #
+    # Opening and loading
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(
+        cls,
+        directory,
+        label: Optional[str],
+        fingerprint: str,
+        num_obligations: int,
+        resume: bool = False,
+    ) -> Tuple["CheckpointJournal", Dict[str, JournaledOutcome]]:
+        """Open (creating or resuming) the journal for one run.
+
+        Returns the writer plus the already-journaled outcomes by key —
+        empty unless ``resume`` found a matching journal. Without
+        ``resume`` an existing journal is truncated and restarted (the
+        caller asked for a fresh run). With ``resume``, a journal whose
+        fingerprint mismatches raises :class:`StaleJournalError`.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        name = _slug(label) or f"run-{fingerprint[:12]}"
+        path = directory / f"{name}.jsonl"
+        journal = cls(path, fingerprint, label=label or "")
+        completed: Dict[str, JournaledOutcome] = {}
+        if resume and path.exists():
+            completed = cls.load(path, fingerprint)
+        journal._start(resume=bool(completed), num_obligations=num_obligations)
+        return journal, completed
+
+    @classmethod
+    def load(cls, path, fingerprint: Optional[str]) -> Dict[str, JournaledOutcome]:
+        """Load a journal's completed outcomes, newest record winning.
+
+        Raises :class:`StaleJournalError` when the header is missing,
+        unreadable, has the wrong schema, or carries a different
+        fingerprint. A truncated/corrupt *trailing* record is dropped
+        (the run died mid-append); corruption before the end also stops
+        the load there — everything after an unreadable line is
+        untrusted.
+        """
+        path = Path(path)
+        lines = path.read_text().splitlines()
+        if not lines:
+            raise StaleJournalError(f"{path}: empty journal (no header)")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise StaleJournalError(f"{path}: unreadable header: {exc}") from exc
+        if not isinstance(header, dict) or header.get("schema") != JOURNAL_SCHEMA:
+            raise StaleJournalError(
+                f"{path}: not an obligation journal "
+                f"(schema {header.get('schema') if isinstance(header, dict) else None!r})"
+            )
+        if fingerprint is not None and header.get("fingerprint") != fingerprint:
+            raise StaleJournalError(
+                f"{path}: stale journal — it records a different run "
+                f"(journal fingerprint {str(header.get('fingerprint'))[:12]}…, "
+                f"this run {fingerprint[:12]}…); refusing to resume. "
+                f"Delete the journal or drop --resume to start fresh."
+            )
+        completed: Dict[str, JournaledOutcome] = {}
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                outcome = JournaledOutcome(
+                    key=record["key"],
+                    holds=bool(record["holds"]),
+                    checked=int(record["checked"]),
+                    name=record["name"],
+                    elapsed=float(record.get("elapsed", 0.0)),
+                    attempts=int(record.get("attempts", 1)),
+                    witnesses_b64=record.get("witnesses"),
+                )
+                # Witness payloads must decode now, not at merge time.
+                outcome.to_result()
+            except Exception:
+                # Torn tail (the writer died mid-append): keep the valid
+                # prefix, trust nothing after the first bad line.
+                break
+            completed[outcome.key] = outcome
+        return completed
+
+    def _start(self, resume: bool, num_obligations: int) -> None:
+        mode = "a" if resume else "w"
+        self._handle = open(self.path, mode, encoding="utf-8")
+        if not resume:
+            self._write_line(
+                {
+                    "schema": JOURNAL_SCHEMA,
+                    "fingerprint": self.fingerprint,
+                    "label": self.label,
+                    "obligations": num_obligations,
+                }
+            )
+            self.sync()
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+
+    def record(self, outcome) -> bool:
+        """Append one scheduler outcome; returns True when written.
+
+        Only completed results are journaled — skipped, timed-out,
+        crashed, and resumed-from-journal outcomes are not (a resumed run
+        must re-attempt them; resumed ones are already on disk).
+        """
+        result = getattr(outcome, "result", None)
+        if result is None or getattr(outcome, "resumed", False):
+            return False
+        record = {
+            "key": outcome.key,
+            "name": result.name,
+            "holds": result.holds,
+            "checked": result.checked,
+            "elapsed": round(outcome.elapsed, 6),
+            "attempts": getattr(outcome, "attempts", 1),
+            "witnesses": (
+                base64.b64encode(pickle.dumps(result.counterexamples)).decode()
+                if result.counterexamples
+                else None
+            ),
+        }
+        self._write_line(record)
+        self.appended += 1
+        return True
+
+    def _write_line(self, payload: dict) -> None:
+        if self._handle is None:
+            raise RuntimeError("journal is closed")
+        self._handle.write(json.dumps(payload) + "\n")
+
+    def sync(self) -> None:
+        """Flush to the OS *and* fsync — called at wave boundaries and on
+        interrupt, so a kill between waves never loses a completed wave."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._last_fsync = time.perf_counter()
+
+    def maybe_sync(self, min_interval: float = 1.0) -> None:
+        """Flush every call; fsync at most once per ``min_interval``.
+
+        The serial backend's per-obligation throttle: fsync per record
+        would dominate short obligations (and blow the happy-path
+        overhead budget), while a flush is cheap and already survives the
+        *process* dying. Only a machine-level kill inside the interval
+        can lose outcomes — at most the last interval's worth, which a
+        resume simply re-executes.
+        """
+        if self._handle is None:
+            return
+        self._handle.flush()
+        if time.perf_counter() - self._last_fsync >= min_interval:
+            os.fsync(self._handle.fileno())
+            self._last_fsync = time.perf_counter()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:
+        return f"CheckpointJournal({self.path}, appended={self.appended})"

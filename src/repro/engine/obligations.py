@@ -37,7 +37,8 @@ from ..core.movers import LM_CONDITION_ORDER, left_mover_condition
 from ..core.refinement import COUNTEREXAMPLE_KEEP, CheckResult
 from ..core.sequentialize import ISApplication, ISResult
 from ..core.universe import StoreUniverse
-from ..diagnose.witness import SkippedMarker
+from ..diagnose.witness import SkippedMarker, TimeoutMarker
+from .resilience import DischargeInterrupted, ResilienceConfig
 
 __all__ = [
     "Obligation",
@@ -303,6 +304,46 @@ def _skipped_result(name: str, reasons: Iterable[str]) -> CheckResult:
     return result
 
 
+def _condition_display_name(ob: Obligation) -> str:
+    """The condition-map display name an unexecuted obligation reports
+    under — the same names the executed paths produce."""
+    if ob.kind in ("LM", "LMc"):
+        return f"α({ob.params[0]}) vs {ob.params[1]}"
+    return {
+        "I3": "I3: inductive step",
+        "CO": "CO: cooperation",
+    }.get(ob.kind, ob.key)
+
+
+def _fault_result(ob: Obligation, outcome, deadline) -> CheckResult:
+    """The :class:`TimeoutMarker`-carrying result of an obligation that
+    never completed: deadline expiry, terminal crash, or interrupt
+    (``outcome is None`` — the run stopped before it was scheduled)."""
+    name = _condition_display_name(ob)
+    if outcome is None:
+        marker = TimeoutMarker(
+            reason="interrupted before execution", check="interrupted"
+        )
+    elif outcome.timed_out:
+        marker = TimeoutMarker(
+            reason=f"deadline of {deadline}s exceeded",
+            check="timeout",
+            attempts=outcome.attempts,
+            deadline=deadline,
+        )
+    else:
+        marker = TimeoutMarker(
+            reason=(
+                f"crashed after {outcome.attempts} attempt(s): "
+                f"{outcome.error}"
+            ),
+            check="crash",
+            attempts=outcome.attempts,
+            deadline=deadline,
+        )
+    return CheckResult(name, False, [marker])
+
+
 def merge_outcomes(
     app: ISApplication,
     obligations: List[Obligation],
@@ -426,6 +467,8 @@ def discharge(
     scheduler=None,
     fail_fast: bool = False,
     tracer=None,
+    resilience: Optional[ResilienceConfig] = None,
+    checkpoint_label: Optional[str] = None,
 ) -> ISResult:
     """Build, schedule, and merge the obligation DAG for one application.
 
@@ -441,15 +484,36 @@ def discharge(
 
     ``tracer`` (a :class:`repro.obs.Tracer`) records one span per
     obligation — including every shard and slice, and skipped obligations
-    (zero duration, flagged) — plus the pool's cache warm-up pass. Spans
-    are derived *after* scheduling from the outcomes the scheduler returns
-    anyway, so a tracer can never perturb verdicts, condition maps, or
-    scheduling decisions.
+    (zero duration, flagged) — plus the pool's cache warm-up pass and any
+    resilience events (timeouts, retries, pool rebuilds). Spans are
+    derived *after* scheduling from the outcomes and events the scheduler
+    records anyway, so a tracer can never perturb verdicts, condition
+    maps, or scheduling/recovery decisions.
+
+    ``resilience`` (a :class:`~repro.engine.resilience.ResilienceConfig`)
+    arms per-obligation deadlines, crash retries, and — via its
+    ``checkpoint_dir``/``resume`` fields — the append-only outcome
+    journal: completed ``CheckResult``s are journaled per wave, and a
+    resumed run seeds them back instead of re-executing (outcomes marked
+    ``resumed``). ``checkpoint_label`` names the journal file (one per IS
+    application). A ``KeyboardInterrupt`` mid-run is salvaged: the
+    completed outcomes are merged into a partial result with
+    ``interrupted=True`` and the unexecuted obligations marked with
+    ``interrupted`` timeout witnesses.
     """
-    from .scheduler import make_scheduler
+    import os as _os
+    import time as _time
+
+    from .journal import CheckpointJournal, run_fingerprint
+    from .scheduler import ObligationOutcome, make_scheduler
 
     if scheduler is None:
-        scheduler = make_scheduler(jobs)
+        scheduler = make_scheduler(jobs, resilience=resilience)
+    cfg = (
+        resilience
+        if resilience is not None
+        else getattr(scheduler, "resilience", None)
+    ) or ResilienceConfig()
     parallelism = scheduler.parallelism
     num_globals = len(universe.globals_)
     lm_targets = [
@@ -463,7 +527,49 @@ def discharge(
         i3_shards=shard_count(num_globals, parallelism),
         lm_shards=lm_slice_count(num_pairs, num_globals, parallelism),
     )
-    outcomes = scheduler.run(app, universe, obligations, fail_fast=fail_fast)
+    journal = None
+    journaled: Dict[str, object] = {}
+    if cfg.checkpoint_dir:
+        fingerprint = run_fingerprint(app, universe, obligations)
+        journal, journaled = CheckpointJournal.open(
+            cfg.checkpoint_dir,
+            checkpoint_label,
+            fingerprint,
+            num_obligations=len(obligations),
+            resume=cfg.resume,
+        )
+    todo = [ob for ob in obligations if ob.key not in journaled]
+    interrupted = False
+    try:
+        if journal is not None:
+            outcomes = scheduler.run(
+                app,
+                universe,
+                todo,
+                fail_fast=fail_fast,
+                journal=journal,
+                seed_verdicts={k: r.holds for k, r in journaled.items()},
+            )
+        else:
+            outcomes = scheduler.run(
+                app, universe, obligations, fail_fast=fail_fast
+            )
+    except DischargeInterrupted as exc:
+        outcomes = exc.outcomes
+        interrupted = True
+    finally:
+        if journal is not None:
+            journal.close()
+    for key, record in journaled.items():
+        outcomes[key] = ObligationOutcome(
+            key,
+            record.to_result(),
+            0.0,
+            _os.getpid(),
+            started=_time.perf_counter(),
+            attempts=record.attempts,
+            resumed=True,
+        )
     results: Dict[str, CheckResult] = {}
     timings: Dict[str, float] = {}
     by_key = {ob.key: ob for ob in obligations}
@@ -471,6 +577,10 @@ def discharge(
         timings[key] = outcome.elapsed
         if outcome.result is not None:
             results[key] = outcome.result
+        elif outcome.timed_out or outcome.error is not None:
+            results[key] = _fault_result(
+                by_key[key], outcome, cfg.timeout_per_obligation
+            )
         else:
             ob = by_key[key]
             reasons = []
@@ -478,21 +588,36 @@ def discharge(
                 dep_outcome = outcomes.get(d)
                 if dep_outcome is None:
                     continue
-                if dep_outcome.result is None:
+                if dep_outcome.timed_out:
+                    reasons.append(f"dependency {d} timed out")
+                elif dep_outcome.error is not None:
+                    reasons.append(f"dependency {d} crashed")
+                elif dep_outcome.result is None:
                     reasons.append(f"dependency {d} skipped")
                 elif not dep_outcome.result.holds:
                     reasons.append(f"dependency {d} failed")
-            name = {
-                "I3": "I3: inductive step",
-                "CO": "CO: cooperation",
-            }.get(ob.kind, ob.key)
-            if ob.kind in ("LM", "LMc"):
-                name = f"α({ob.params[0]}) vs {ob.params[1]}"
             results[key] = _skipped_result(
-                name, reasons or [f"dependency {d} failed" for d in ob.deps]
+                _condition_display_name(ob),
+                reasons or [f"dependency {d} failed" for d in ob.deps],
             )
+    if interrupted:
+        for ob in obligations:
+            if ob.key not in outcomes:
+                results[ob.key] = _fault_result(ob, None, None)
     merged = merge_outcomes(app, obligations, results, timings=timings)
     merged.warmup_seconds = getattr(scheduler, "last_warmup_seconds", 0.0)
+    merged.interrupted = interrupted
+    merged.resumed_keys = sorted(journaled)
+    merged.timeout_keys = sorted(
+        k for k, o in outcomes.items() if o.timed_out
+    )
+    merged.crashed_keys = sorted(
+        k for k, o in outcomes.items() if o.error is not None
+    )
+    merged.retries = sum(
+        max(0, o.attempts - 1) for o in outcomes.values()
+    )
+    merged.resilience_events = list(getattr(scheduler, "last_events", ()) or ())
     if tracer is not None:
         _emit_spans(tracer, scheduler, obligations, outcomes)
     workers: Dict[int, dict] = {}
@@ -541,7 +666,7 @@ def _emit_spans(tracer, scheduler, obligations, outcomes) -> None:
         outcome = outcomes.get(ob.key)
         if outcome is None:
             continue
-        skipped = outcome.result is None
+        unexecuted = outcome.result is None
         tracer.add(
             Span(
                 name=ob.key,
@@ -552,9 +677,26 @@ def _emit_spans(tracer, scheduler, obligations, outcomes) -> None:
                 backend=backend,
                 kind=ob.kind,
                 condition=ob.condition,
-                checked=0 if skipped else outcome.result.checked,
-                holds=None if skipped else outcome.result.holds,
-                skipped=skipped,
+                checked=0 if unexecuted else outcome.result.checked,
+                holds=None if unexecuted else outcome.result.holds,
+                skipped=outcome.skipped,
                 cache_delta=outcome.cache_delta,
+                attempts=outcome.attempts,
+                timed_out=outcome.timed_out,
+                resumed=outcome.resumed,
+            )
+        )
+    for event in getattr(scheduler, "last_events", ()) or ():
+        tracer.add(
+            Span(
+                name=f"resilience:{event.kind}",
+                category="resilience",
+                start=event.at,
+                duration=0.0,
+                pid=os.getpid(),
+                backend=backend,
+                kind=event.kind,
+                condition=event.key,
+                attempts=event.attempt,
             )
         )

@@ -96,6 +96,12 @@ def chrome_trace(tracer: Tracer) -> dict:
                     "skipped": span.skipped,
                 }
             )
+            if span.attempts > 1:
+                args["attempts"] = span.attempts
+            if span.timed_out:
+                args["timed_out"] = True
+            if span.resumed:
+                args["resumed"] = True
         if span.cache_delta is not None:
             args["cache_delta"] = span.cache_delta
         events.append(
@@ -135,15 +141,24 @@ def _aggregate(spans: Iterable[Span]) -> dict:
         "checked": 0,
         "seconds": 0.0,
         "cache_delta": {},
+        "timeouts": 0,
+        "retried": 0,
+        "resumed": 0,
     }
     for span in spans:
         group["obligations"] += 1
         group["checked"] += span.checked
         group["seconds"] += span.duration
-        if span.skipped:
+        if span.timed_out:
+            group["timeouts"] += 1
+        elif span.skipped:
             group["skipped"] += 1
         elif span.holds is False:
             group["failed"] += 1
+        if span.attempts > 1:
+            group["retried"] += 1
+        if span.resumed:
+            group["resumed"] += 1
         if span.cache_delta:
             _merge_delta(group["cache_delta"], span.cache_delta)
     group["seconds"] = round(group["seconds"], 6)
@@ -198,6 +213,17 @@ def metrics_payload(tracer: Tracer) -> dict:
             }
             for span in tracer.phase_spans()
         ],
+        "resilience_events": [
+            {
+                "kind": span.kind,
+                "key": span.condition,
+                "attempt": span.attempts,
+                "scope": span.scope,
+                "at_seconds": round(span.start - origin, 6),
+            }
+            for span in tracer.spans
+            if span.category == "resilience"
+        ],
     }
     payload["totals"]["spans"] = len(tracer.spans)
     return payload
@@ -226,10 +252,12 @@ def render_summary(tracer: Tracer) -> str:
         lambda s: f"{s.scope}::{s.condition}" if s.scope else s.condition,
     )
     for label, group in groups.items():
-        if group["skipped"] == group["obligations"]:
-            status = "SKIP"
-        elif group["failed"]:
+        if group["failed"]:
             status = "FAIL"
+        elif group["timeouts"]:
+            status = "TIMEOUT"
+        elif group["skipped"] == group["obligations"]:
+            status = "SKIP"
         else:
             status = "OK"
         lines.append(

@@ -51,6 +51,14 @@ class Span:
     evaluation-cache hit/miss increment observed by the discharging process
     across this span (``None`` for spans that do not evaluate actions).
     ``holds`` is ``None`` for non-verdict spans and for skipped obligations.
+
+    Resilience: ``category == "resilience"`` spans are zero-duration
+    markers of recovery actions (``kind`` is the event kind — timeout,
+    crash, retry, pool-rebuild, ... — and ``condition`` the obligation
+    key). Obligation spans additionally carry ``attempts`` (execution
+    attempts; >1 means the obligation was retried), ``timed_out`` (its
+    deadline expired), and ``resumed`` (satisfied from a checkpoint
+    journal, not executed).
     """
 
     name: str
@@ -66,6 +74,9 @@ class Span:
     holds: Optional[bool] = None
     skipped: bool = False
     cache_delta: Optional[Dict[str, Dict[str, int]]] = None
+    attempts: int = 0
+    timed_out: bool = False
+    resumed: bool = False
 
     @property
     def end(self) -> float:
@@ -89,6 +100,14 @@ class Span:
             record["checked"] = self.checked
             record["holds"] = self.holds
             record["skipped"] = self.skipped
+            if self.attempts > 1:
+                record["attempts"] = self.attempts
+            if self.timed_out:
+                record["timed_out"] = True
+            if self.resumed:
+                record["resumed"] = True
+        if self.category == "resilience":
+            record["attempts"] = self.attempts
         if self.cache_delta is not None:
             record["cache_delta"] = self.cache_delta
         return record

@@ -479,6 +479,7 @@ def verify(
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
+    resilience=None,
 ) -> ProtocolReport:
     """Full pipeline: IS condition checks, sequential spec on the
     transformed program, and (optionally) the ground-truth refinement
@@ -520,13 +521,24 @@ def verify(
                         else nullcontext()
                     ):
                         result = application.check(
-                            universe, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+                            universe,
+                            jobs=jobs,
+                            fail_fast=fail_fast,
+                            tracer=tracer,
+                            resilience=resilience,
+                            checkpoint_label=f"broadcast-consensus-IS-{label}",
                         )
             except ExplorationBudgetExceeded as exc:
                 report.budget = BudgetHit(f"IS[{label}]", exc.explored, exc.limit)
                 return report
+            except KeyboardInterrupt:
+                report.interrupted = True
+                return report
             report.is_results.append((label, result))
             report.explain_targets.append((label, application, universe))
+            if result.interrupted:
+                report.interrupted = True
+                return report
             final_program = application.apply_and_drop()
 
         try:
@@ -545,6 +557,9 @@ def verify(
         except ExplorationBudgetExceeded as exc:
             report.budget = BudgetHit("sequential spec", exc.explored, exc.limit)
             return report
+        except KeyboardInterrupt:
+            report.interrupted = True
+            return report
 
         if ground_truth:
             try:
@@ -558,4 +573,6 @@ def verify(
                     )
             except ExplorationBudgetExceeded as exc:
                 report.budget = BudgetHit("ground truth", exc.explored, exc.limit)
+            except KeyboardInterrupt:
+                report.interrupted = True
     return report

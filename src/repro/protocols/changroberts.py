@@ -376,6 +376,7 @@ def verify(
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
+    resilience=None,
 ) -> ProtocolReport:
     """Full pipeline for Chang-Roberts."""
     applications = make_sequentializations(n)
@@ -391,4 +392,5 @@ def verify(
         jobs=jobs,
         fail_fast=fail_fast,
         tracer=tracer,
+        resilience=resilience,
     )

@@ -153,6 +153,13 @@ class ProtocolReport:
     ``explain_targets`` records, per IS check, the application and universe
     it ran against — everything ``repro.diagnose.explain_result`` needs to
     replay and shrink the counterexamples of a failed report.
+
+    Status forms a small lattice — ``OK`` / ``FAILED`` / ``BUDGET`` /
+    ``TIMEOUT`` / ``INTERRUPTED``: a genuine counterexample anywhere wins
+    (``FAILED``), a blown budget reports before disruption kinds, and
+    ``TIMEOUT``/``INTERRUPTED`` mark runs that are *inconclusive* —
+    obligations hit their deadline or the run was stopped — rather than
+    refuted. ``ok`` is ``True`` only for a clean, complete ``OK``.
     """
 
     name: str
@@ -162,6 +169,7 @@ class ProtocolReport:
     ground_truth: Optional[CheckResult] = None
     timings: Dict[str, float] = field(default_factory=dict)
     budget: Optional[BudgetHit] = None
+    interrupted: bool = False
     explain_targets: List[Tuple[str, object, object]] = field(
         default_factory=list, compare=False, repr=False
     )
@@ -172,7 +180,7 @@ class ProtocolReport:
 
     @property
     def ok(self) -> bool:
-        if self.budget is not None:
+        if self.budget is not None or self.interrupted:
             return False
         if any(not result.holds for _, result in self.is_results):
             return False
@@ -183,10 +191,37 @@ class ProtocolReport:
         return True
 
     @property
+    def _genuinely_failed(self) -> bool:
+        """A real refutation somewhere — outranks every disruption."""
+        if any(
+            any(r.verdict == "FAIL" for r in result.conditions.values())
+            for _, result in self.is_results
+        ):
+            return True
+        if self.spec_ok is False:
+            return True
+        if self.ground_truth is not None and not self.ground_truth.holds:
+            return True
+        return False
+
+    @property
+    def timed_out(self) -> bool:
+        """Some obligation hit its deadline (or crashed/was skipped) and
+        nothing genuinely failed — the pipeline is inconclusive."""
+        return any(result.timed_out for _, result in self.is_results)
+
+    @property
     def status(self) -> str:
-        """``OK``, ``FAILED``, or ``BUDGET`` (ran out of configurations)."""
+        """One of ``OK``/``FAILED``/``BUDGET``/``TIMEOUT``/``INTERRUPTED``
+        (see the class docstring for the ordering)."""
         if self.budget is not None:
             return "BUDGET"
+        if self._genuinely_failed:
+            return "FAILED"
+        if self.interrupted:
+            return "INTERRUPTED"
+        if self.timed_out:
+            return "TIMEOUT"
         return "OK" if self.ok else "FAILED"
 
     @property
@@ -198,7 +233,15 @@ class ProtocolReport:
                  f"({self.num_is_applications} IS applications,"
                  f" {self.total_time:.2f}s)"]
         for label, result in self.is_results:
-            parts.append(f"  IS[{label}]: {'PASS' if result.holds else 'FAIL'}")
+            if result.holds:
+                verdict = "PASS"
+            elif result.interrupted:
+                verdict = "INTERRUPTED"
+            elif result.timed_out:
+                verdict = "TIMEOUT"
+            else:
+                verdict = "FAIL"
+            parts.append(f"  IS[{label}]: {verdict}")
         if self.spec_ok is not None:
             parts.append(f"  sequential spec: {'PASS' if self.spec_ok else 'FAIL'}")
         if self.ground_truth is not None:
@@ -208,6 +251,8 @@ class ProtocolReport:
             )
         if self.budget is not None:
             parts.append(f"  {self.budget}")
+        if self.interrupted:
+            parts.append("  interrupted: partial report (salvaged outcomes)")
         return "\n".join(parts)
 
 
@@ -223,6 +268,7 @@ def verify_protocol(
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
+    resilience=None,
 ) -> ProtocolReport:
     """Generic protocol pipeline: check each IS application over the
     reachable universe (under the ghost PA context), then the sequential
@@ -238,6 +284,15 @@ def verify_protocol(
     :class:`repro.obs.Tracer`) records phase spans for every pipeline
     stage and obligation spans for every IS check, scoped under the
     protocol name and IS label; it never affects verdicts or reports.
+
+    ``resilience`` (a
+    :class:`~repro.engine.resilience.ResilienceConfig`) arms
+    per-obligation deadlines, crash retries, and checkpoint/resume for
+    every IS check; each application journals under the label
+    ``{protocol}-IS-{label}``. A ``KeyboardInterrupt`` anywhere in the
+    pipeline yields a *partial* report (``interrupted=True``,
+    ``status == "INTERRUPTED"``) carrying everything completed — and
+    journaled — before the stop, instead of unwinding with a traceback.
     """
     from ..core.context import GhostContext
     from ..core.explore import instance_summary
@@ -263,13 +318,24 @@ def verify_protocol(
                         else nullcontext()
                     ):
                         result = application.check(
-                            universe, jobs=jobs, fail_fast=fail_fast, tracer=tracer
+                            universe,
+                            jobs=jobs,
+                            fail_fast=fail_fast,
+                            tracer=tracer,
+                            resilience=resilience,
+                            checkpoint_label=f"{name}-IS-{label}",
                         )
             except ExplorationBudgetExceeded as exc:
                 report.budget = BudgetHit(f"IS[{label}]", exc.explored, exc.limit)
                 return report
+            except KeyboardInterrupt:
+                report.interrupted = True
+                return report
             report.is_results.append((label, result))
             report.explain_targets.append((label, application, universe))
+            if result.interrupted:
+                report.interrupted = True
+                return report
             final_program = application.apply_and_drop()
 
         try:
@@ -285,6 +351,9 @@ def verify_protocol(
         except ExplorationBudgetExceeded as exc:
             report.budget = BudgetHit("sequential spec", exc.explored, exc.limit)
             return report
+        except KeyboardInterrupt:
+            report.interrupted = True
+            return report
 
         if ground_truth:
             try:
@@ -298,6 +367,8 @@ def verify_protocol(
                     )
             except ExplorationBudgetExceeded as exc:
                 report.budget = BudgetHit("ground truth", exc.explored, exc.limit)
+            except KeyboardInterrupt:
+                report.interrupted = True
     return report
 
 

@@ -400,6 +400,7 @@ def verify(
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
+    resilience=None,
 ) -> ProtocolReport:
     """Full pipeline for N-Buyer."""
     applications = make_sequentializations(n, prices, contributions)
@@ -415,4 +416,5 @@ def verify(
         jobs=jobs,
         fail_fast=fail_fast,
         tracer=tracer,
+        resilience=resilience,
     )

@@ -620,6 +620,7 @@ def verify_sampled(
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
+    resilience=None,
 ) -> ProtocolReport:
     """Bounded variant for instances whose reachable state space defies
     enumeration (R=2, N=3 has ~6·10^5 configurations): the IS conditions
@@ -679,6 +680,7 @@ def verify(
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
+    resilience=None,
 ) -> ProtocolReport:
     """Full pipeline for Paxos.
 
@@ -698,4 +700,5 @@ def verify(
         jobs=jobs,
         fail_fast=fail_fast,
         tracer=tracer,
+        resilience=resilience,
     )

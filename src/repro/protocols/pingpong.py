@@ -317,6 +317,7 @@ def verify(
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
+    resilience=None,
 ) -> ProtocolReport:
     """Full pipeline for Ping-Pong."""
     application = make_sequentialization(rounds)
@@ -332,4 +333,5 @@ def verify(
         jobs=jobs,
         fail_fast=fail_fast,
         tracer=tracer,
+        resilience=resilience,
     )

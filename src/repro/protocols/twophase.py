@@ -474,6 +474,7 @@ def verify(
     jobs: Optional[int] = None,
     fail_fast: bool = False,
     tracer=None,
+    resilience=None,
 ) -> ProtocolReport:
     """Full pipeline for two-phase commit."""
     applications = make_sequentializations(n)
@@ -489,4 +490,5 @@ def verify(
         jobs=jobs,
         fail_fast=fail_fast,
         tracer=tracer,
+        resilience=resilience,
     )

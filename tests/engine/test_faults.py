@@ -1,0 +1,151 @@
+"""The deterministic fault-injection harness itself.
+
+These tests pin down the injector's contract before any scheduler is
+involved: spec validation, ``REPRO_FAULTS`` parsing, the attempt-gating
+rule (a spec fires only while ``attempt < times``), the parent-process
+demotion of ``exit`` faults, and the installed-beats-environment
+precedence of :func:`repro.engine.faults.active_injector`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine import faults
+from repro.engine.faults import (
+    FAULTS_ENV,
+    FaultError,
+    FaultInjector,
+    FaultSpec,
+    active_injector,
+    clear,
+    install,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_injector(monkeypatch):
+    """Every test starts (and ends) with no installed injector and no
+    environment specs."""
+    clear()
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    yield
+    clear()
+
+
+# --------------------------------------------------------------------- #
+# Spec validation and parsing
+# --------------------------------------------------------------------- #
+
+
+def test_unknown_mode_is_rejected():
+    with pytest.raises(ValueError, match="unknown fault mode"):
+        FaultSpec("I1", "explode")
+
+
+def test_times_must_be_positive():
+    with pytest.raises(ValueError, match="times"):
+        FaultSpec("I1", "raise", times=0)
+
+
+def test_from_env_parses_modes_and_times():
+    injector = FaultInjector.from_env("I1=raise:2; LM[A|B]=hang ;I3#0=exit")
+    assert set(injector.by_key) == {"I1", "LM[A|B]", "I3#0"}
+    assert injector.by_key["I1"].times == 2
+    assert injector.by_key["LM[A|B]"].mode == "hang"
+    assert injector.by_key["LM[A|B]"].times == 1
+    assert injector.by_key["I3#0"].mode == "exit"
+
+
+def test_from_env_rejects_malformed_entries():
+    with pytest.raises(ValueError, match="malformed"):
+        FaultInjector.from_env("I1")
+    with pytest.raises(ValueError, match="unknown fault mode"):
+        FaultInjector.from_env("I1=banana")
+
+
+def test_from_env_skips_empty_segments():
+    injector = FaultInjector.from_env(";;I1=raise;")
+    assert set(injector.by_key) == {"I1"}
+
+
+# --------------------------------------------------------------------- #
+# Firing semantics
+# --------------------------------------------------------------------- #
+
+
+def test_fires_only_while_attempt_below_times():
+    injector = FaultInjector([FaultSpec("I1", "raise", times=2)])
+    with pytest.raises(FaultError):
+        injector.fire("I1", attempt=0)
+    with pytest.raises(FaultError):
+        injector.fire("I1", attempt=1)
+    # Attempt 2 onwards runs clean — the retry survives.
+    injector.fire("I1", attempt=2)
+    # Other keys are never afflicted.
+    injector.fire("abs[X]", attempt=0)
+
+
+def test_hang_mode_sleeps_for_configured_seconds():
+    injector = FaultInjector([FaultSpec("I1", "hang", seconds=0.05)])
+    started = time.perf_counter()
+    injector.fire("I1", attempt=0)
+    assert time.perf_counter() - started >= 0.04
+
+
+def test_interrupt_mode_raises_keyboard_interrupt():
+    injector = FaultInjector([FaultSpec("I1", "interrupt")])
+    with pytest.raises(KeyboardInterrupt):
+        injector.fire("I1", attempt=0)
+
+
+def test_exit_mode_is_demoted_to_raise_in_parent():
+    """``os._exit`` in the parent would kill the test harness; outside a
+    worker the exit fault must surface as a catchable FaultError."""
+    injector = FaultInjector([FaultSpec("I1", "exit")])
+    with pytest.raises(FaultError):
+        injector.fire("I1", attempt=0, in_worker=False)
+
+
+# --------------------------------------------------------------------- #
+# Installation and environment precedence
+# --------------------------------------------------------------------- #
+
+
+def test_active_injector_is_none_by_default():
+    assert active_injector() is None
+
+
+def test_installed_injector_wins_over_environment(monkeypatch):
+    monkeypatch.setenv(FAULTS_ENV, "I1=hang")
+    programmatic = FaultInjector([FaultSpec("I2", "raise")])
+    install(programmatic)
+    assert active_injector() is programmatic
+    clear()
+    # With the installed one removed, the environment specs apply.
+    from_env = active_injector()
+    assert from_env is not None and set(from_env.by_key) == {"I1"}
+
+
+def test_environment_cache_tracks_value_changes(monkeypatch):
+    monkeypatch.setenv(FAULTS_ENV, "I1=raise")
+    first = active_injector()
+    assert first is active_injector()  # memoized while unchanged
+    monkeypatch.setenv(FAULTS_ENV, "I2=raise:3")
+    second = active_injector()
+    assert set(second.by_key) == {"I2"} and second.by_key["I2"].times == 3
+
+
+def test_clear_removes_installed_injector():
+    install(FaultInjector([FaultSpec("I1", "raise")]))
+    clear()
+    assert active_injector() is None
+
+
+def test_module_state_helpers_are_reexported():
+    # The scheduler imports active_injector from the module; keep the
+    # public surface stable.
+    for name in ("FaultError", "FaultSpec", "FaultInjector", "install"):
+        assert hasattr(faults, name)

@@ -167,10 +167,16 @@ def test_verify_pipeline_records_phases_and_scopes():
 
 def test_verify_without_tracer_is_identical():
     """Differential acceptance check at the pipeline level: a traced run's
-    report content matches an untraced run's exactly."""
+    report content matches an untraced run's exactly (wall-clock figures
+    are masked — two runs legitimately round to different hundredths)."""
+    import re
+
+    def _masked(report):
+        return re.sub(r"\d+\.\d+s", "_s", report.summary())
+
     plain = prodcons.verify(bound=2)
     traced = prodcons.verify(bound=2, tracer=Tracer())
-    assert traced.summary() == plain.summary()
+    assert _masked(traced) == _masked(plain)
     assert [label for label, _ in traced.is_results] == [
         label for label, _ in plain.is_results
     ]

@@ -43,6 +43,7 @@ def test_expected_jobs_exist(workflow):
         "full",
         "bench-smoke",
         "trace-artifact",
+        "fault-injection",
         "explain-artifact",
     }
 
@@ -96,7 +97,9 @@ def test_smoke_and_trace_scripts_exist(workflow):
     assert (ROOT / "benchmarks" / "bench_obligations.py").exists()
 
 
-@pytest.mark.parametrize("job", ["trace-artifact", "explain-artifact"])
+@pytest.mark.parametrize(
+    "job", ["trace-artifact", "fault-injection", "explain-artifact"]
+)
 def test_artifact_upload_requires_files(workflow, job):
     uploads = [
         step
@@ -105,6 +108,29 @@ def test_artifact_upload_requires_files(workflow, job):
     ]
     assert len(uploads) == 1
     assert uploads[0]["with"]["if-no-files-found"] == "error"
+
+
+def test_fault_injection_job_interrupts_then_resumes(workflow):
+    """The resilience job must be hang-bounded (``timeout-minutes``), run
+    the fault/journal regression files, demand the partial-report exit
+    code (130) from the injected-interrupt run, and resume from the
+    salvaged journal afterwards."""
+    job = workflow["jobs"]["fault-injection"]
+    assert 0 < job["timeout-minutes"] <= 30
+    commands = [step["run"] for step in job["steps"] if "run" in step]
+    suite = next(cmd for cmd in commands if "pytest" in cmd)
+    for name in ("test_faults.py", "test_resilience.py", "test_journal.py"):
+        assert name in suite
+        assert (ROOT / "tests" / "engine" / name).exists()
+    interrupted = next(
+        step
+        for step in job["steps"]
+        if "REPRO_FAULTS" in (step.get("env") or {})
+    )
+    assert "interrupt" in interrupted["env"]["REPRO_FAULTS"]
+    assert "--checkpoint" in interrupted["run"]
+    assert "130" in interrupted["run"]
+    assert any("--resume" in cmd for cmd in commands)
 
 
 def test_explain_job_runs_seeded_fixture_and_gates_on_minimization(workflow):
