@@ -27,6 +27,13 @@ Four configurations of the same check (Paxos, R rounds x N nodes):
     under 3% — arming deadlines and journaling must be cheap enough to
     leave on for long runs.
 
+The JSON also carries an ``rcache`` section: a cold/warm/one-edit trio of
+the Paxos check against a persistent obligation-result cache
+(``repro.engine.rcache``) with hit-rate attribution, plus
+incremental-vs-full wall time for every Table 1 protocol pipeline — a
+warm re-verify must execute zero obligations, and a single no-op edit
+must re-execute only its read-set.
+
 Jobs accounting is honest: the JSON records both the *requested* job
 count and the *effective* worker count after clamping to the host's CPUs
 (requesting more CPU-bound workers than cores only adds fork overhead;
@@ -156,6 +163,157 @@ def _pool_scheduler(jobs: int) -> tuple:
     return scheduler, clamp_warning
 
 
+def _wrap_invariant(app):
+    """A behaviorally identical application whose invariant is a fresh
+    closure — the canonical "touched one artifact" edit. Rebuilt field by
+    field (not ``dataclasses.replace``) so the derived ``M'`` stays
+    canonical and only the invariant's fingerprint moves."""
+    from repro.core.action import Action
+    from repro.core.sequentialize import ISApplication
+
+    gate = app.invariant.gate
+    return ISApplication(
+        program=app.program,
+        m_name=app.m_name,
+        eliminated=app.eliminated,
+        invariant=Action(
+            app.invariant.name,
+            lambda state: gate(state),
+            app.invariant.transitions,
+            app.invariant.params,
+        ),
+        measure=app.measure,
+        choice=app.choice,
+        abstractions=dict(app.abstractions),
+    )
+
+
+def _cache_trio(app, universe, cache_dir) -> dict:
+    """Cold / warm / one-edit wall times of one serial check against a
+    persistent result cache, with hit-rate attribution."""
+
+    def attribution(result):
+        stats = result.rcache_stats or {}
+        consulted = sum(
+            stats.get(k, 0)
+            for k in ("hits", "misses", "invalidations", "uncacheable")
+        )
+        return {
+            **stats,
+            "executed": result.num_obligations - len(result.cached_keys),
+            "hit_rate": (
+                round(stats.get("hits", 0) / consulted, 4) if consulted else None
+            ),
+        }
+
+    cold_result, cold_time = _timed_check_cached(app, universe, cache_dir)
+    warm_result, warm_time = _timed_check_cached(app, universe, cache_dir)
+    assert not (
+        set(warm_result.cached_keys)
+        ^ {ob_key for ob_key in cold_result.timings}
+    ), "warm run failed to hit every obligation"
+    assert _condition_map(cold_result) == _condition_map(warm_result), (
+        "warm cache changed verdicts"
+    )
+    edited_result, edited_time = _timed_check_cached(
+        _wrap_invariant(app), universe, cache_dir
+    )
+    assert _condition_map(edited_result) == _condition_map(warm_result), (
+        "no-op invariant edit changed verdicts"
+    )
+    return {
+        "wall_time_seconds": {
+            "cold_cache": round(cold_time, 3),
+            "warm_cache": round(warm_time, 3),
+            "one_edit": round(edited_time, 3),
+        },
+        "speedup_warm_vs_cold": round(cold_time / warm_time, 2),
+        "cold": attribution(cold_result),
+        "warm": attribution(warm_result),
+        "one_edit": attribution(edited_result),
+    }
+
+
+def _timed_check_cached(app, universe, cache_dir):
+    started = time.perf_counter()
+    result = app.check(universe, jobs=1, cache=cache_dir)
+    return result, time.perf_counter() - started
+
+
+def _protocol_verifiers() -> dict:
+    from repro.protocols import (
+        broadcast,
+        changroberts,
+        nbuyer,
+        pingpong,
+        prodcons,
+        twophase,
+    )
+
+    return {
+        "broadcast": lambda **kw: broadcast.verify(n=3, iterated=True, **kw),
+        "pingpong": lambda **kw: pingpong.verify(rounds=3, **kw),
+        "prodcons": lambda **kw: prodcons.verify(bound=4, **kw),
+        "nbuyer": lambda **kw: nbuyer.verify(n=3, **kw),
+        "changroberts": lambda **kw: changroberts.verify(n=4, **kw),
+        "twophase": lambda **kw: twophase.verify(n=3, **kw),
+        "paxos": lambda **kw: paxos.verify(rounds=2, num_nodes=2, **kw),
+    }
+
+
+def _report_cache_stats(report) -> dict:
+    obligations = cached = resumed = 0
+    stats = {"hits": 0, "misses": 0, "invalidations": 0, "uncacheable": 0}
+    for _, result in report.is_results:
+        obligations += result.num_obligations
+        cached += len(result.cached_keys)
+        resumed += len(result.resumed_keys)
+        for key in stats:
+            stats[key] += (result.rcache_stats or {}).get(key, 0)
+    return {
+        "obligations": obligations,
+        "executed": obligations - cached - resumed,
+        "cached": cached,
+        **stats,
+    }
+
+
+def run_incremental_per_protocol() -> dict:
+    """Incremental (warm result cache) vs full re-verification, per
+    protocol, on the Table 1 pipelines: ``full`` is a plain ``verify()``,
+    ``cold_cache`` the same run populating a fresh cache, ``incremental``
+    the re-run against it — the edit-nothing-and-re-verify cost."""
+    rows = {}
+    for name, verify in sorted(_protocol_verifiers().items()):
+        reset_process_cache()
+        combine.cache_clear()
+        started = time.perf_counter()
+        full = verify()
+        full_time = time.perf_counter() - started
+        with tempfile.TemporaryDirectory(prefix=f"bench-rcache-{name}-") as d:
+            started = time.perf_counter()
+            verify(cache=d)
+            cold_time = time.perf_counter() - started
+            started = time.perf_counter()
+            warm = verify(cache=d)
+            warm_time = time.perf_counter() - started
+        warm_stats = _report_cache_stats(warm)
+        assert warm.ok == full.ok, f"{name}: warm cache changed the verdict"
+        assert warm_stats["executed"] == 0, (
+            f"{name}: warm re-verify executed {warm_stats['executed']}"
+        )
+        rows[name] = {
+            "wall_time_seconds": {
+                "full": round(full_time, 3),
+                "cold_cache": round(cold_time, 3),
+                "incremental": round(warm_time, 3),
+            },
+            "speedup_incremental_vs_full": round(full_time / warm_time, 2),
+            "warm": warm_stats,
+        }
+    return rows
+
+
 def run_smoke(rounds: int = 1, nodes: int = 1) -> dict:
     """The CI guard: smallest Paxos instance, serial backend only.
 
@@ -168,6 +326,8 @@ def run_smoke(rounds: int = 1, nodes: int = 1) -> dict:
     combine.cache_clear()
     universe = _build_universe(app, init_global, uncached=False)
     result, seconds = _timed_check(app, universe, jobs=1)
+    with tempfile.TemporaryDirectory(prefix="bench-rcache-smoke-") as d:
+        rcache = _cache_trio(app, universe, d)
     return {
         "benchmark": "obligation discharge (Paxos) — smoke",
         "mode": "smoke",
@@ -180,6 +340,7 @@ def run_smoke(rounds: int = 1, nodes: int = 1) -> dict:
         "wall_time_seconds": {"serial_memoized": round(seconds, 3)},
         "verdict": result.holds,
         "cache_hit_rates_serial": {"evaluation": process_cache().as_dict()},
+        "rcache": rcache,
     }
 
 
@@ -281,6 +442,14 @@ def run_benchmark(rounds: int, nodes: int, jobs: int, tracer=None) -> dict:
         "resilience-armed condition map diverges from serial"
     )
 
+    # --- persistent result cache: cold / warm / one-edit -------------------
+    reset_process_cache()
+    combine.cache_clear()
+    rcache_universe = _build_universe(app, init_global, uncached=False)
+    with tempfile.TemporaryDirectory(prefix="bench-rcache-") as d:
+        rcache_trio = _cache_trio(app, rcache_universe, d)
+    incremental = run_incremental_per_protocol()
+
     effective_jobs = warm_scheduler.jobs
     slowest = sorted(
         serial_result.timings.items(), key=lambda kv: kv[1], reverse=True
@@ -341,6 +510,14 @@ def run_benchmark(rounds: int, nodes: int, jobs: int, tracer=None) -> dict:
         "cache_hit_rates_serial": {
             "evaluation": serial_cache,
             "context_pair_single": context_cache,
+        },
+        "rcache": {
+            # The persistent obligation-result cache (repro.engine.rcache):
+            # cold populates, warm re-verifies with zero executions, and
+            # one_edit (a no-op invariant rewrap) re-executes exactly the
+            # invariant readers — see 'invalidations' in its attribution.
+            "trio": rcache_trio,
+            "incremental_vs_full_by_protocol": incremental,
         },
         "workers_warm": _worker_summary(warm_result),
         "workers_cold": _worker_summary(cold_result),

@@ -20,6 +20,16 @@ Commands
     print the report. Protocols: broadcast, pingpong, prodcons, nbuyer,
     changroberts, twophase, paxos.
 
+Cache flags (``verify`` and ``table1``)
+    ``--cache DIR`` arms the persistent content-addressed obligation
+    result cache (``repro.engine.rcache``): a re-verify of an unchanged
+    protocol seeds every obligation from DIR and executes none, and an
+    edit re-executes exactly the obligations whose dependency
+    fingerprints changed. ``$REPRO_CACHE`` supplies a default directory;
+    ``--no-cache`` disables both; ``--cache-stats`` prints greppable
+    ``rcache:`` counter lines (hits/misses/invalidations and the
+    executed-vs-cached split) after the report.
+
 Resilience flags (``verify`` and ``table1``)
     ``--timeout-per-obligation S`` arms a wall-clock deadline per
     obligation attempt (expired obligations report TIMEOUT instead of
@@ -103,6 +113,70 @@ def _add_resilience_flags(subparser) -> None:
     )
 
 
+def _add_cache_flags(subparser) -> None:
+    subparser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persistent obligation result cache: obligations whose "
+        "dependency fingerprints are unchanged are seeded from DIR "
+        "instead of re-executed (default: $REPRO_CACHE if set)",
+    )
+    subparser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache (overrides --cache and $REPRO_CACHE)",
+    )
+    subparser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print cache hit/miss/invalidation counters and the "
+        "executed-vs-cached obligation split after the report",
+    )
+
+
+def _make_cache(parser, args):
+    """An ``ObligationCache`` when caching is armed, else ``None``.
+
+    ``--cache DIR`` wins, then ``$REPRO_CACHE``; ``--no-cache`` disables
+    both. ``--cache-stats`` without a cache directory is an error."""
+    import os
+
+    directory = getattr(args, "cache", None) or os.environ.get("REPRO_CACHE")
+    if getattr(args, "no_cache", False):
+        directory = None
+    if getattr(args, "cache_stats", False) and not directory:
+        parser.error("--cache-stats requires --cache DIR (or $REPRO_CACHE)")
+    if not directory:
+        return None
+    from .engine.rcache import ObligationCache
+
+    return ObligationCache(directory)
+
+
+def _print_cache_stats(cache, reports) -> None:
+    """The greppable cache summary behind ``--cache-stats``: the cache's
+    counter totals for this invocation, then the obligation split —
+    ``executed=0`` is the incremental-verification CI gate."""
+    stats = cache.stats
+    print(
+        f"rcache: hits={stats.hits} misses={stats.misses} "
+        f"invalidations={stats.invalidations} stores={stats.stores} "
+        f"uncacheable={stats.uncacheable}"
+    )
+    total = cached = resumed = 0
+    for report in reports:
+        for _label, result in report.is_results:
+            total += result.num_obligations
+            cached += len(result.cached_keys)
+            resumed += len(result.resumed_keys)
+    executed = total - cached - resumed
+    print(
+        f"rcache: obligations={total} executed={executed} "
+        f"cached={cached} resumed={resumed}"
+    )
+
+
 def _make_tracer(args):
     """A tracer when ``--trace``/``--metrics`` was requested, else None —
     the engine's untraced path stays byte-identical."""
@@ -159,6 +233,7 @@ def _cmd_table1(args) -> int:
     from .engine.journal import StaleJournalError
 
     tracer = _make_tracer(args)
+    cache = args.cache_config
     try:
         rows = build_table1(
             max_configs=args.max_configs,
@@ -166,11 +241,16 @@ def _cmd_table1(args) -> int:
             fail_fast=args.fail_fast,
             tracer=tracer,
             resilience=args.resilience_config,
+            cache=cache,
         )
     except StaleJournalError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(render_table1(rows))
+    if cache is not None and args.cache_stats:
+        _print_cache_stats(
+            cache, [row.report for row in rows if row.report is not None]
+        )
     if args.stats:
         print()
         print(render_obligation_stats(rows))
@@ -198,6 +278,7 @@ def _cmd_verify(args) -> int:
               f"{', '.join(sorted(ALL_PROTOCOLS))}", file=sys.stderr)
         return 2
     tracer = _make_tracer(args)
+    cache = args.cache_config
     try:
         report = module.verify(
             max_configs=args.max_configs,
@@ -205,11 +286,14 @@ def _cmd_verify(args) -> int:
             fail_fast=args.fail_fast,
             tracer=tracer,
             resilience=args.resilience_config,
+            cache=cache,
         )
     except StaleJournalError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.summary())
+    if cache is not None and args.cache_stats:
+        _print_cache_stats(cache, [report])
     if args.explain:
         _explain_report(report)
     if tracer is not None:
@@ -308,6 +392,7 @@ def main(argv=None) -> int:
         help="write a flat metrics JSON (per-obligation and aggregates)",
     )
     _add_resilience_flags(table1)
+    _add_cache_flags(table1)
     verify = sub.add_parser("verify", help="verify one protocol")
     verify.add_argument("protocol")
     verify.add_argument(
@@ -349,6 +434,7 @@ def main(argv=None) -> int:
         help="write a flat metrics JSON (per-obligation and aggregates)",
     )
     _add_resilience_flags(verify)
+    _add_cache_flags(verify)
     explain = sub.add_parser(
         "explain",
         help="diagnose a seeded failing fixture: shrink + replay witnesses",
@@ -381,6 +467,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.command in ("table1", "verify"):
         args.resilience_config = _make_resilience(parser, args)
+        args.cache_config = _make_cache(parser, args)
     try:
         return {
             "table1": _cmd_table1,

@@ -70,8 +70,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Broadcast consensus",
         broadcast,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: broadcast.verify(
-            n=3, iterated=True, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: broadcast.verify(
+            n=3, iterated=True, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
         ),
         (
             broadcast.make_invariant,
@@ -87,8 +87,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Ping-Pong",
         pingpong,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: pingpong.verify(
-            rounds=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: pingpong.verify(
+            rounds=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
         ),
         (
             pingpong.make_abstractions,
@@ -101,8 +101,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Producer-Consumer",
         prodcons,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: prodcons.verify(
-            bound=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: prodcons.verify(
+            bound=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
         ),
         (
             prodcons.make_consumer_abs,
@@ -115,8 +115,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "N-Buyer",
         nbuyer,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: nbuyer.verify(
-            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: nbuyer.verify(
+            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
         ),
         (nbuyer.make_measure, nbuyer.make_sequentializations),
         (nbuyer.make_atomic, nbuyer.initial_global),
@@ -124,8 +124,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Chang-Roberts",
         changroberts,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: changroberts.verify(
-            n=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: changroberts.verify(
+            n=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
         ),
         (
             changroberts.make_handle_abs,
@@ -140,8 +140,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Two-phase commit",
         twophase,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: twophase.verify(
-            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: twophase.verify(
+            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
         ),
         (twophase.make_measure, twophase.make_sequentializations),
         (twophase.make_atomic, twophase.initial_global),
@@ -149,8 +149,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Paxos",
         paxos,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None: paxos.verify(
-            rounds=2, num_nodes=2, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: paxos.verify(
+            rounds=2, num_nodes=2, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
         ),
         (
             paxos.make_abstractions,
@@ -170,6 +170,7 @@ def build_table1(
     fail_fast: bool = False,
     tracer=None,
     resilience=None,
+    cache=None,
 ) -> List[Table1Row]:
     """Run every example's full pipeline and assemble the table.
 
@@ -188,12 +189,19 @@ def build_table1(
     per-obligation deadlines, retries, and checkpoint/resume into every
     row's pipeline; rows with expired deadlines render as TIMEOUT, and an
     interrupted row (Ctrl-C) stops the sweep with the completed rows plus
-    the partial one.
+    the partial one. ``cache`` (an
+    :class:`~repro.engine.rcache.ObligationCache` or a directory path)
+    arms the persistent result cache for every row; one instance is
+    shared across the sweep, so an unchanged protocol's obligations are
+    seeded instead of re-executed (``python -m repro table1 --cache``).
     """
+    from ..engine.rcache import ObligationCache
+
+    cache = ObligationCache.ensure(cache)
     rows: List[Table1Row] = []
     for entry in entries if entries is not None else TABLE1_REGISTRY:
         report = entry.verify(
-            max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience
+            max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
         )
         rows.append(
             Table1Row(

@@ -135,8 +135,11 @@ class ISResult:
     ``timeout_keys``/``crashed_keys`` are obligations that hit their
     deadline or crashed past the retry budget; ``retries`` counts extra
     execution attempts; ``resilience_events`` is the scheduler's recovery
-    log. All are bookkeeping only and excluded from equality, which
-    compares the condition map alone.
+    log. ``cached_keys`` are obligations satisfied from the persistent
+    result cache (``repro.engine.rcache``) instead of executed, and
+    ``rcache_stats`` the cache's hit/miss/invalidation counter delta for
+    this discharge. All are bookkeeping only and excluded from equality,
+    which compares the condition map alone.
     """
 
     conditions: Dict[str, CheckResult] = field(default_factory=dict)
@@ -163,6 +166,12 @@ class ISResult:
     retries: int = field(default=0, compare=False, repr=False)
     resilience_events: List = field(
         default_factory=list, compare=False, repr=False
+    )
+    cached_keys: List[str] = field(
+        default_factory=list, compare=False, repr=False
+    )
+    rcache_stats: Optional[Dict[str, int]] = field(
+        default=None, compare=False, repr=False
     )
 
     @property
@@ -658,6 +667,7 @@ class ISApplication:
         tracer=None,
         resilience=None,
         checkpoint_label: Optional[str] = None,
+        cache=None,
     ) -> ISResult:
         """Check all IS conditions over a store universe.
 
@@ -683,6 +693,11 @@ class ISApplication:
         per-obligation deadlines, crash retries, and checkpoint/resume;
         ``checkpoint_label`` names this application's journal file. See
         ``repro.engine.obligations.discharge``.
+
+        ``cache`` (an :class:`~repro.engine.rcache.ObligationCache` or a
+        directory path) reuses persisted results for obligations whose
+        dependency fingerprints are unchanged — they are seeded, not
+        executed — and stores every freshly completed obligation back.
         """
         from ..engine.obligations import discharge
 
@@ -696,6 +711,7 @@ class ISApplication:
             tracer=tracer,
             resilience=resilience,
             checkpoint_label=checkpoint_label,
+            cache=cache,
         )
 
     def check_inline(

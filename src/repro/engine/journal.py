@@ -180,11 +180,19 @@ class CheckpointJournal:
         untrusted.
         """
         path = Path(path)
-        lines = path.read_text().splitlines()
-        if not lines:
+        # Read bytes, not text: a header torn mid-multibyte-sequence (or
+        # binary garbage) must degrade to StaleJournalError, not escape
+        # as a raw UnicodeDecodeError before any guard runs.
+        raw_lines = path.read_bytes().splitlines()
+        if not raw_lines:
             raise StaleJournalError(f"{path}: empty journal (no header)")
         try:
-            header = json.loads(lines[0])
+            header = json.loads(raw_lines[0].decode("utf-8"))
+        except UnicodeDecodeError as exc:
+            raise StaleJournalError(
+                f"{path}: unreadable header (not valid UTF-8 — torn or "
+                f"binary write): {exc}"
+            ) from exc
         except json.JSONDecodeError as exc:
             raise StaleJournalError(f"{path}: unreadable header: {exc}") from exc
         if not isinstance(header, dict) or header.get("schema") != JOURNAL_SCHEMA:
@@ -200,7 +208,13 @@ class CheckpointJournal:
                 f"Delete the journal or drop --resume to start fresh."
             )
         completed: Dict[str, JournaledOutcome] = {}
-        for line in lines[1:]:
+        for raw in raw_lines[1:]:
+            try:
+                line = raw.decode("utf-8")
+            except UnicodeDecodeError:
+                # Torn-tail semantics, byte-level: a record truncated
+                # mid-multibyte-sequence drops like any other bad line.
+                break
             if not line.strip():
                 continue
             try:

@@ -469,6 +469,7 @@ def discharge(
     tracer=None,
     resilience: Optional[ResilienceConfig] = None,
     checkpoint_label: Optional[str] = None,
+    cache=None,
 ) -> ISResult:
     """Build, schedule, and merge the obligation DAG for one application.
 
@@ -500,11 +501,23 @@ def discharge(
     completed outcomes are merged into a partial result with
     ``interrupted=True`` and the unexecuted obligations marked with
     ``interrupted`` timeout witnesses.
+
+    ``cache`` (an :class:`~repro.engine.rcache.ObligationCache`, or a
+    directory path) arms the persistent content-addressed result store:
+    before scheduling, every obligation's dependency fingerprint is
+    computed and looked up — a hit seeds the recorded verdict (witnesses
+    included) exactly like a journaled outcome and the obligation never
+    executes (outcomes marked ``cached``); every freshly completed
+    obligation is stored back. Cache decisions are recorded as events on
+    the cache object and become ``rcache`` spans when a tracer is
+    attached — derived after the fact, so tracing never perturbs caching
+    (or vice versa).
     """
     import os as _os
     import time as _time
 
     from .journal import CheckpointJournal, run_fingerprint
+    from .rcache import DependencyFingerprinter, ObligationCache
     from .scheduler import ObligationOutcome, make_scheduler
 
     if scheduler is None:
@@ -538,17 +551,43 @@ def discharge(
             num_obligations=len(obligations),
             resume=cfg.resume,
         )
-    todo = [ob for ob in obligations if ob.key not in journaled]
+    cache = ObligationCache.ensure(cache)
+    cache_hits: Dict[str, object] = {}
+    fingerprints: Dict[str, Tuple[Optional[str], str]] = {}
+    cache_stats_before = cache.stats.snapshot() if cache is not None else None
+    cache_events_before = len(cache.events) if cache is not None else 0
+    if cache is not None:
+        fingerprinter = DependencyFingerprinter(app, universe)
+        for ob in obligations:
+            if ob.key in journaled:
+                # The journal's verdicts take precedence: they belong to
+                # *this* run (fingerprint-checked on load).
+                continue
+            pair = (fingerprinter.fingerprint(ob), fingerprinter.identity(ob))
+            fingerprints[ob.key] = pair
+            if pair[0] is None:
+                cache.note_uncacheable(ob.key)
+                continue
+            entry = cache.lookup(pair[0], pair[1], ob.key)
+            if entry is not None:
+                cache_hits[ob.key] = entry
+    todo = [
+        ob
+        for ob in obligations
+        if ob.key not in journaled and ob.key not in cache_hits
+    ]
+    seed_verdicts = {k: r.holds for k, r in journaled.items()}
+    seed_verdicts.update({k: e.holds for k, e in cache_hits.items()})
     interrupted = False
     try:
-        if journal is not None:
+        if journal is not None or cache is not None:
             outcomes = scheduler.run(
                 app,
                 universe,
                 todo,
                 fail_fast=fail_fast,
                 journal=journal,
-                seed_verdicts={k: r.holds for k, r in journaled.items()},
+                seed_verdicts=seed_verdicts,
             )
         else:
             outcomes = scheduler.run(
@@ -570,6 +609,24 @@ def discharge(
             attempts=record.attempts,
             resumed=True,
         )
+    for key, entry in cache_hits.items():
+        outcomes[key] = ObligationOutcome(
+            key,
+            entry.to_result(),
+            0.0,
+            _os.getpid(),
+            started=_time.perf_counter(),
+            attempts=entry.attempts,
+            cached=True,
+        )
+    if cache is not None:
+        for key, outcome in outcomes.items():
+            if outcome.result is None or outcome.cached or outcome.resumed:
+                continue
+            pair = fingerprints.get(key)
+            if pair is not None and pair[0] is not None:
+                cache.store(pair[0], pair[1], key, outcome)
+        cache.flush()
     results: Dict[str, CheckResult] = {}
     timings: Dict[str, float] = {}
     by_key = {ob.key: ob for ob in obligations}
@@ -608,6 +665,9 @@ def discharge(
     merged.warmup_seconds = getattr(scheduler, "last_warmup_seconds", 0.0)
     merged.interrupted = interrupted
     merged.resumed_keys = sorted(journaled)
+    merged.cached_keys = sorted(cache_hits)
+    if cache is not None:
+        merged.rcache_stats = cache.stats.delta(cache_stats_before)
     merged.timeout_keys = sorted(
         k for k, o in outcomes.items() if o.timed_out
     )
@@ -619,7 +679,10 @@ def discharge(
     )
     merged.resilience_events = list(getattr(scheduler, "last_events", ()) or ())
     if tracer is not None:
-        _emit_spans(tracer, scheduler, obligations, outcomes)
+        cache_events = (
+            cache.events[cache_events_before:] if cache is not None else ()
+        )
+        _emit_spans(tracer, scheduler, obligations, outcomes, cache_events)
     workers: Dict[int, dict] = {}
     for outcome in outcomes.values():
         if outcome.cache_stats is None:
@@ -641,10 +704,13 @@ def _snapshot_total(snapshot: Mapping[str, Mapping[str, float]]) -> float:
     )
 
 
-def _emit_spans(tracer, scheduler, obligations, outcomes) -> None:
+def _emit_spans(
+    tracer, scheduler, obligations, outcomes, cache_events=()
+) -> None:
     """Turn scheduler outcomes into tracer spans (one per obligation, in
-    build order, plus the pool's warm-up pass). Purely derivational: reads
-    outcome fields the schedulers populate unconditionally."""
+    build order, plus the pool's warm-up pass and the result cache's
+    hit/miss/invalidation events). Purely derivational: reads outcome
+    fields and events the engine populates unconditionally."""
     import os
 
     from ..obs.tracer import Span
@@ -684,6 +750,20 @@ def _emit_spans(tracer, scheduler, obligations, outcomes) -> None:
                 attempts=outcome.attempts,
                 timed_out=outcome.timed_out,
                 resumed=outcome.resumed,
+                cached=outcome.cached,
+            )
+        )
+    for event in cache_events:
+        tracer.add(
+            Span(
+                name=f"rcache:{event.kind}",
+                category="rcache",
+                start=event.at,
+                duration=0.0,
+                pid=os.getpid(),
+                backend=backend,
+                kind=event.kind,
+                condition=event.key,
             )
         )
     for event in getattr(scheduler, "last_events", ()) or ():

@@ -1,0 +1,673 @@
+"""Persistent, content-addressed obligation result cache.
+
+The obligation DAG (``repro.engine.obligations``) decomposes one IS
+application into independent proof obligations, each of which reads a
+*small* slice of the application: an abstraction check reads one program
+action and its abstraction, I1 reads ``M`` and the invariant, an LM cell
+reads one abstraction and one program action, and so on. This module
+generalizes the run-level fingerprint of ``repro.engine.journal`` into a
+**per-obligation dependency fingerprint**: a content hash of
+
+* the engine schema version (:data:`RCACHE_SCHEMA`),
+* the obligation's kind, key, and instance parameters (shard bounds
+  included — a re-sharded layout asks a different question),
+* a structural hash of every action/gate/predicate the obligation
+  transitively reads (closures are hashed by bytecode, constants,
+  closure-cell contents, and referenced globals — not by identity), and
+* a fingerprint of the store universe (order-insensitive over the
+  globals and per-action locals pools).
+
+A :class:`ObligationCache` maps fingerprints to completed
+:class:`~repro.core.refinement.CheckResult` payloads on disk. On the next
+run, ``discharge()`` recomputes each obligation's fingerprint: an exact
+match means *nothing the obligation reads has changed*, so its recorded
+verdict (witnesses included) is still the answer — the obligation is
+seeded into the fail-fast verdict map and never executed. Any edit to a
+gate, transition, predicate, measure, or universe changes the hash of
+every obligation that reads it, and only those re-execute.
+
+**Soundness** rests on the read-set being an *over-approximation*: the
+fingerprint covers at least everything ``execute_obligation`` evaluates
+for that kind (see :class:`DependencyFingerprinter`). When a value
+resists structural hashing — an object whose only rendering is an
+address-carrying ``repr`` — the hasher raises :class:`Unfingerprintable`
+and the obligation is simply *uncacheable*: it always executes. Unknown
+never means "reuse".
+
+The cache directory layout is write-once, content-addressed::
+
+    DIR/objects/<fingerprint>.json   one completed obligation each
+    DIR/index.json                   obligation identity -> last fingerprint
+
+The identity index is bookkeeping only (it attributes a miss to
+*invalidation* — same obligation, changed content — rather than a cold
+store) and is never consulted to answer a lookup; corrupt or missing
+entries degrade to misses, never to wrong verdicts. Entry writes are
+atomic (temp file + rename), so a killed run leaves no torn objects.
+
+Cache hit/miss/invalidation events are recorded unconditionally on the
+cache object and turned into zero-duration ``rcache`` spans *after*
+discharge, preserving the tracing layer's no-perturbation guarantee.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import pickle
+import re
+import time
+import types
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from ..core.action import Action, PendingAsync, Transition
+from ..core.mapping import FrozenDict
+from ..core.multiset import Multiset
+from ..core.program import Program
+from ..core.store import Store
+from .journal import JournaledOutcome
+
+__all__ = [
+    "RCACHE_SCHEMA",
+    "Unfingerprintable",
+    "stable_digest",
+    "universe_fingerprint",
+    "DependencyFingerprinter",
+    "RcacheStats",
+    "CacheEvent",
+    "ObligationCache",
+]
+
+#: Bump on any change to the fingerprint recipe or the entry layout —
+#: it is hashed into every fingerprint, so old entries become misses.
+RCACHE_SCHEMA = "repro.engine/rcache/v1"
+
+#: Recursion bound for the structural hasher. Deep enough for every
+#: closure/action graph in the repo; a runaway structure degrades to
+#: :class:`Unfingerprintable` (uncacheable), never to a wrong hash.
+_MAX_DEPTH = 64
+
+_ADDRESS_RE = re.compile(r"0x[0-9a-fA-F]+")
+
+#: Hashable repro value types whose digests are memoized per hasher —
+#: ghost multisets repeat :class:`PendingAsync` values across thousands
+#:  of stores, so the memo turns the universe fingerprint near-linear.
+_MEMO_TYPES = (Store, Multiset, FrozenDict, PendingAsync, Transition, Action)
+
+
+class Unfingerprintable(Exception):
+    """A value the structural hasher cannot render deterministically
+    (e.g. an object whose only rendering carries a memory address).
+    Obligations reading such a value are uncacheable — a safe default."""
+
+
+def _hex(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode("utf-8", "surrogatepass"))
+        digest.update(b"\x1f")
+    return digest.hexdigest()
+
+
+def _code_names(code) -> set:
+    """Every global name referenced by ``code`` or a nested code const."""
+    names = set(code.co_names)
+    for const in code.co_consts:
+        if isinstance(const, types.CodeType):
+            names |= _code_names(const)
+    return names
+
+
+class _Hasher:
+    """One structural-hashing session (shared digest memo)."""
+
+    def __init__(self) -> None:
+        self._memo: Dict[object, str] = {}
+
+    def digest(self, obj, path: Tuple[int, ...] = (), depth: int = 0) -> str:
+        if depth > _MAX_DEPTH:
+            raise Unfingerprintable(
+                f"structure deeper than {_MAX_DEPTH} levels"
+            )
+        # Scalars first: cheap, and never part of a cycle.
+        if obj is None:
+            return _hex("none")
+        if obj is True or obj is False:
+            return _hex("bool", str(obj))
+        if isinstance(obj, int):
+            return _hex("int", str(obj))
+        if isinstance(obj, float):
+            return _hex("float", repr(obj))
+        if isinstance(obj, str):
+            return _hex("str", obj)
+        if isinstance(obj, bytes):
+            return _hex("bytes", obj.hex())
+        if id(obj) in path:
+            # Deterministic cycle token: the digest depends on *where*
+            # the cycle closes, which is itself structural.
+            return _hex("cycle")
+        memoizable = isinstance(obj, _MEMO_TYPES)
+        if memoizable:
+            hit = self._memo.get(obj)
+            if hit is not None:
+                return hit
+        out = self._compound(obj, path + (id(obj),), depth + 1)
+        if memoizable:
+            self._memo[obj] = out
+        return out
+
+    def _compound(self, obj, path, depth) -> str:
+        dig = lambda x: self.digest(x, path, depth)  # noqa: E731
+        if isinstance(obj, tuple):
+            return _hex("tuple", *[dig(x) for x in obj])
+        if isinstance(obj, list):
+            return _hex("list", *[dig(x) for x in obj])
+        if isinstance(obj, (set, frozenset)):
+            return _hex("set", *sorted(dig(x) for x in obj))
+        if isinstance(obj, dict):
+            pairs = sorted((dig(k), dig(v)) for k, v in obj.items())
+            return _hex("dict", *[p for kv in pairs for p in kv])
+        if isinstance(obj, Store):
+            parts = []
+            for key, value in sorted(obj.items()):
+                parts.append(key)
+                parts.append(dig(value))
+            return _hex("Store", *parts)
+        if isinstance(obj, Multiset):
+            entries = sorted(
+                (dig(elem), count) for elem, count in obj.counts()
+            )
+            return _hex(
+                "Multiset", *[f"{d}*{n}" for d, n in entries]
+            )
+        if isinstance(obj, FrozenDict):
+            pairs = sorted((dig(k), dig(v)) for k, v in obj.items())
+            return _hex("FrozenDict", *[p for kv in pairs for p in kv])
+        if isinstance(obj, Program):
+            parts = ["globals:" + ",".join(obj.global_vars)]
+            for name, action in sorted(obj.actions()):
+                parts.append(name)
+                parts.append(dig(action))
+            return _hex("Program", *parts)
+        if isinstance(obj, types.CodeType):
+            return self._code(obj, path, depth)
+        if isinstance(obj, types.FunctionType):
+            return self._function(obj, path, depth)
+        if isinstance(obj, (types.BuiltinFunctionType, types.BuiltinMethodType)):
+            return _hex(
+                "builtin", getattr(obj, "__module__", "") or "", obj.__qualname__
+            )
+        if isinstance(obj, types.MethodType):
+            return _hex("method", dig(obj.__func__), dig(obj.__self__))
+        if isinstance(obj, functools.partial):
+            return _hex(
+                "partial",
+                dig(obj.func),
+                dig(obj.args),
+                dig(dict(obj.keywords)),
+            )
+        if isinstance(obj, functools._lru_cache_wrapper):
+            return _hex("lru_cache", dig(obj.__wrapped__))
+        if isinstance(obj, types.ModuleType):
+            # Modules are hashed by *name*, not content: an edit inside a
+            # module referenced only as a namespace is invisible here.
+            # The protocol pipelines reference module members directly
+            # (which hash structurally); see DESIGN.md for the caveat.
+            return _hex("module", obj.__name__)
+        if isinstance(obj, type):
+            return _hex("class", obj.__module__, obj.__qualname__)
+        if dataclasses.is_dataclass(obj):
+            parts = [type(obj).__module__, type(obj).__qualname__]
+            for f in dataclasses.fields(obj):
+                parts.append(f.name)
+                parts.append(dig(getattr(obj, f.name)))
+            return _hex("dataclass", *parts)
+        module = getattr(type(obj), "__module__", "") or ""
+        if module.startswith("repro") and hasattr(obj, "__dict__"):
+            # Repro-internal value objects (e.g. PA contexts): hash the
+            # declared instance state under the class identity.
+            parts = [type(obj).__module__, type(obj).__qualname__]
+            for name in sorted(vars(obj)):
+                parts.append(name)
+                parts.append(dig(vars(obj)[name]))
+            return _hex("object", *parts)
+        rendering = repr(obj)
+        if _ADDRESS_RE.search(rendering):
+            raise Unfingerprintable(
+                f"{type(obj).__module__}.{type(obj).__qualname__} has no "
+                f"address-free rendering: {rendering!r}"
+            )
+        return _hex("repr", type(obj).__qualname__, rendering)
+
+    def _code(self, code, path, depth) -> str:
+        """Bytecode-level code-object hash. Line/column tables and the
+        file name are deliberately excluded: moving a function does not
+        change what it computes. Nested code consts recurse."""
+        parts = [
+            str(code.co_argcount),
+            str(code.co_posonlyargcount),
+            str(code.co_kwonlyargcount),
+            str(code.co_flags),
+            code.co_code.hex(),
+            ",".join(code.co_names),
+            ",".join(code.co_varnames),
+            ",".join(code.co_freevars),
+            ",".join(code.co_cellvars),
+        ]
+        for const in code.co_consts:
+            parts.append(self.digest(const, path, depth))
+        return _hex("code", *parts)
+
+    def _function(self, fn, path, depth) -> str:
+        dig = lambda x: self.digest(x, path, depth)  # noqa: E731
+        parts = [self._code(fn.__code__, path, depth)]
+        parts.append(dig(fn.__defaults__))
+        parts.append(dig(fn.__kwdefaults__))
+        for cell in fn.__closure__ or ():
+            try:
+                contents = cell.cell_contents
+            except ValueError:
+                parts.append(_hex("emptycell"))
+                continue
+            parts.append(dig(contents))
+        # Referenced globals: any name the (nested) bytecode loads that
+        # resolves in the function's module namespace is part of what the
+        # function computes. Builtins resolve elsewhere and are skipped.
+        for name in sorted(_code_names(fn.__code__)):
+            if name in fn.__globals__:
+                parts.append(name)
+                parts.append(dig(fn.__globals__[name]))
+        return _hex("function", *parts)
+
+
+def stable_digest(obj) -> str:
+    """Deterministic structural sha256 of ``obj`` (hex).
+
+    Stable across process restarts, ``PYTHONHASHSEED`` values, dict
+    insertion orders, and set iteration orders; sensitive to every field
+    of the value, including closure bytecode, closure-cell contents,
+    default arguments, and referenced module globals. Raises
+    :class:`Unfingerprintable` for values with no deterministic
+    rendering.
+    """
+    return _Hasher().digest(obj)
+
+
+def universe_fingerprint(universe, hasher: Optional[_Hasher] = None) -> str:
+    """Order-insensitive fingerprint of a store universe.
+
+    Hashes the *set* of global stores, the per-action locals pools (by
+    action name, each pool as a set), and the PA context — the same
+    inputs every obligation enumerates. Iteration order of the pools does
+    not matter (``from_reachable`` sorts stores anyway, but samplers need
+    not).
+    """
+    hasher = hasher or _Hasher()
+    parts = ["globals"]
+    parts.extend(sorted(hasher.digest(store) for store in universe.globals_))
+    for name in sorted(universe.locals_by_action):
+        parts.append("locals:" + name)
+        parts.extend(
+            sorted(
+                hasher.digest(store)
+                for store in universe.locals_by_action[name]
+            )
+        )
+    parts.append("context")
+    parts.append(hasher.digest(universe.context))
+    return _hex("universe", *parts)
+
+
+class DependencyFingerprinter:
+    """Per-obligation dependency fingerprints for one (app, universe).
+
+    The read-set rules mirror :func:`~repro.engine.obligations.execute_obligation`
+    kind by kind, *over-approximating* what each obligation evaluates:
+
+    * ``abs[A]`` reads ``P[A]`` and ``α(A)``;
+    * ``I1`` reads ``P[M]`` and the invariant;
+    * ``I2`` reads the invariant, ``E``, and ``M'`` (a canonical token
+      when ``M'`` is derived from the invariant — it then carries no
+      information beyond the invariant itself);
+    * ``I3`` reads the invariant, the choice function, ``α(e)`` for
+      *every* eliminated action, and its shard bounds;
+    * ``LM``/``LMc`` read ``α(A)`` and the right-hand program action
+      (plus condition name and slice bounds);
+    * ``CO[A]`` reads ``α(A)`` and the termination measure.
+
+    ``α(A)`` falls back to ``P[A]`` for unabstracted eliminated actions,
+    exactly like :meth:`ISApplication.abstraction_of` — so editing such
+    an action reaches its I3/LM/CO obligations too. Every fingerprint
+    additionally covers the universe fingerprint, the schema version, and
+    the obligation key. A dependency that cannot be hashed makes the
+    obligation uncacheable (``fingerprint`` returns ``None``).
+    """
+
+    def __init__(self, app, universe):
+        self.app = app
+        self._hasher = _Hasher()
+        self._memo: Dict[str, Optional[str]] = {}
+        try:
+            self._universe_fp: Optional[str] = universe_fingerprint(
+                universe, self._hasher
+            )
+        except Unfingerprintable:
+            self._universe_fp = None
+        self._frame = _hex(
+            "frame",
+            getattr(app, "m_name", "") or "",
+            ",".join(getattr(app, "eliminated", ()) or ()),
+            ",".join(sorted(getattr(app, "abstractions", {}) or {})),
+            ",".join(app.program.action_names()) if app is not None else "",
+            str(len(universe.globals_) if universe is not None else 0),
+        )
+
+    def _dep(self, label: str, obj) -> Optional[str]:
+        if label not in self._memo:
+            try:
+                self._memo[label] = self._hasher.digest(obj)
+            except Unfingerprintable:
+                self._memo[label] = None
+        return self._memo[label]
+
+    def _reads(self, ob) -> Tuple[List[Tuple[str, object]], List[str]]:
+        """(hashed dependencies, literal tokens) for one obligation."""
+        app = self.app
+        kind = ob.kind
+        if kind == "abs":
+            name = ob.params[0]
+            return (
+                [
+                    (f"program:{name}", app.program[name]),
+                    (f"abstraction:{name}", app.abstractions[name]),
+                ],
+                [],
+            )
+        if kind == "I1":
+            return (
+                [
+                    (f"program:{app.m_name}", app.program[app.m_name]),
+                    ("invariant", app.invariant),
+                ],
+                [f"m={app.m_name}"],
+            )
+        if kind == "I2":
+            deps = [("invariant", app.invariant)]
+            tokens = ["E=" + ",".join(app.eliminated)]
+            if getattr(app, "_m_prime_canonical", False):
+                tokens.append("m_prime=canonical")
+            else:
+                deps.append(("m_prime", app.m_prime))
+            return deps, tokens
+        if kind == "I3":
+            deps = [("invariant", app.invariant), ("choice", app.choice)]
+            for name in app.eliminated:
+                deps.append((f"alpha:{name}", app.abstraction_of(name)))
+            return deps, [
+                "E=" + ",".join(app.eliminated),
+                f"m={app.m_name}",
+                f"params={ob.params!r}",
+            ]
+        if kind in ("LM", "LMc"):
+            name, other = ob.params[0], ob.params[1]
+            return (
+                [
+                    (f"alpha:{name}", app.abstraction_of(name)),
+                    (f"program:{other}", app.program[other]),
+                ],
+                [f"params={ob.params!r}"],
+            )
+        if kind == "CO":
+            name = ob.params[0]
+            return (
+                [
+                    (f"alpha:{name}", app.abstraction_of(name)),
+                    ("measure", app.measure),
+                ],
+                [],
+            )
+        raise ValueError(f"unknown obligation kind {kind!r}")
+
+    def fingerprint(self, ob) -> Optional[str]:
+        """Content hash keying ``ob``'s result, or ``None`` (uncacheable)."""
+        if self._universe_fp is None:
+            return None
+        parts = [
+            RCACHE_SCHEMA,
+            f"kind={ob.kind}",
+            f"key={ob.key}",
+            f"universe={self._universe_fp}",
+        ]
+        deps, tokens = self._reads(ob)
+        for label, obj in deps:
+            digest = self._dep(label, obj)
+            if digest is None:
+                return None
+            parts.append(f"{label}={digest}")
+        parts.extend(tokens)
+        return _hex("obligation", *parts)
+
+    def identity(self, ob) -> str:
+        """Content-*independent* identity of ``ob`` — the application
+        frame (names only) plus the obligation key. Two runs of the same
+        proof share identities even after an edit, which is what lets the
+        cache tell *invalidation* (same identity, new fingerprint) apart
+        from a cold miss."""
+        return _hex("identity", self._frame, ob.key)
+
+
+@dataclass
+class CacheEvent:
+    """One cache decision, recorded unconditionally (spans are derived
+    from these after discharge — tracing never perturbs caching)."""
+
+    kind: str  # hit | miss | invalidation | store | uncacheable
+    key: str
+    fingerprint: str = ""
+    at: float = 0.0
+
+
+@dataclass
+class RcacheStats:
+    """Counters for one :class:`ObligationCache` (cumulative across
+    every discharge that shared the cache object)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    stores: int = 0
+    uncacheable: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def delta(self, before: Optional[Dict[str, int]]) -> Dict[str, int]:
+        now = self.snapshot()
+        if not before:
+            return now
+        return {k: now[k] - before.get(k, 0) for k in now}
+
+
+_INDEX_SCHEMA_KEY = "schema"
+
+
+class ObligationCache:
+    """Content-addressed store of completed obligation results.
+
+    One instance may serve many ``discharge()`` calls (a whole protocol
+    pipeline, or a full Table 1 sweep); ``stats`` and ``events``
+    accumulate across them and callers snapshot/slice per discharge.
+    """
+
+    def __init__(self, directory):
+        self.directory = Path(directory)
+        self.objects_dir = self.directory / "objects"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.index_path = self.directory / "index.json"
+        self.stats = RcacheStats()
+        self.events: List[CacheEvent] = []
+        self._index: Dict[str, str] = self._load_index()
+        self._index_dirty = False
+
+    @classmethod
+    def ensure(cls, cache) -> Optional["ObligationCache"]:
+        """Normalize a ``cache=`` argument: ``None`` passes through, an
+        :class:`ObligationCache` is returned as-is, and a path-like
+        opens (creating) a cache at that directory."""
+        if cache is None or isinstance(cache, cls):
+            return cache
+        return cls(cache)
+
+    # ------------------------------------------------------------------ #
+    # Index
+    # ------------------------------------------------------------------ #
+
+    def _load_index(self) -> Dict[str, str]:
+        try:
+            payload = json.loads(self.index_path.read_text())
+            if payload.get(_INDEX_SCHEMA_KEY) != RCACHE_SCHEMA:
+                return {}
+            identities = payload.get("identities", {})
+            return {str(k): str(v) for k, v in identities.items()}
+        except FileNotFoundError:
+            return {}
+        except Exception:
+            # A corrupt index only costs invalidation *attribution*
+            # (invalidations will count as plain misses), never verdicts.
+            return {}
+
+    def flush(self) -> None:
+        """Persist the identity index (atomic write)."""
+        if not self._index_dirty:
+            return
+        payload = {
+            _INDEX_SCHEMA_KEY: RCACHE_SCHEMA,
+            "identities": dict(sorted(self._index.items())),
+        }
+        self._atomic_write(self.index_path, json.dumps(payload, indent=0))
+        self._index_dirty = False
+
+    def _atomic_write(self, path: Path, text: str) -> None:
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+    # Lookup / store
+    # ------------------------------------------------------------------ #
+
+    def _event(self, kind: str, key: str, fingerprint: str = "") -> None:
+        self.events.append(
+            CacheEvent(kind, key, fingerprint, at=time.perf_counter())
+        )
+
+    def note_uncacheable(self, key: str) -> None:
+        self.stats.uncacheable += 1
+        self._event("uncacheable", key)
+
+    def lookup(
+        self, fingerprint: str, identity: str, key: str
+    ) -> Optional[JournaledOutcome]:
+        """The completed outcome stored under ``fingerprint``, or ``None``.
+
+        Corrupt, missing, mismatched, or undecodable entries are misses.
+        A miss whose ``identity`` was last stored under a *different*
+        fingerprint is counted as an invalidation — the obligation's
+        content changed since it was cached.
+        """
+        entry = self._read_entry(fingerprint, key)
+        if entry is not None:
+            self.stats.hits += 1
+            self._event("hit", key, fingerprint)
+            return entry
+        known = self._index.get(identity)
+        if known is not None and known != fingerprint:
+            self.stats.invalidations += 1
+            self._event("invalidation", key, fingerprint)
+        else:
+            self.stats.misses += 1
+            self._event("miss", key, fingerprint)
+        return None
+
+    def _read_entry(
+        self, fingerprint: str, key: str
+    ) -> Optional[JournaledOutcome]:
+        path = self.objects_dir / f"{fingerprint}.json"
+        try:
+            record = json.loads(path.read_text())
+            if record.get("schema") != RCACHE_SCHEMA:
+                return None
+            if record.get("key") != key:
+                # sha256 collision or tampering; never trust it.
+                return None
+            outcome = JournaledOutcome(
+                key=record["key"],
+                holds=bool(record["holds"]),
+                checked=int(record["checked"]),
+                name=record["name"],
+                elapsed=float(record.get("elapsed", 0.0)),
+                attempts=int(record.get("attempts", 1)),
+                witnesses_b64=record.get("witnesses"),
+            )
+            # The witness payload must decode now, not at merge time.
+            outcome.to_result()
+            return outcome
+        except FileNotFoundError:
+            return None
+        except Exception:
+            return None
+
+    def store(self, fingerprint: str, identity: str, key: str, outcome) -> bool:
+        """Persist one *completed* scheduler outcome; True when written.
+
+        Only genuine verdicts are stored: skipped, timed-out, crashed,
+        resumed-from-journal, and cache-hit outcomes are not (the first
+        three must re-attempt; the last two are already on disk).
+        """
+        result = getattr(outcome, "result", None)
+        if (
+            result is None
+            or getattr(outcome, "resumed", False)
+            or getattr(outcome, "cached", False)
+        ):
+            return False
+        record = {
+            "schema": RCACHE_SCHEMA,
+            "fingerprint": fingerprint,
+            "key": key,
+            "name": result.name,
+            "holds": result.holds,
+            "checked": result.checked,
+            "elapsed": round(outcome.elapsed, 6),
+            "attempts": getattr(outcome, "attempts", 1),
+            "witnesses": (
+                base64.b64encode(pickle.dumps(result.counterexamples)).decode()
+                if result.counterexamples
+                else None
+            ),
+        }
+        self._atomic_write(
+            self.objects_dir / f"{fingerprint}.json", json.dumps(record)
+        )
+        self._index[identity] = fingerprint
+        self._index_dirty = True
+        self.stats.stores += 1
+        self._event("store", key, fingerprint)
+        return True
+
+    def __len__(self) -> int:
+        """Entries on disk (cheap directory scan; tests and stats only)."""
+        return sum(1 for _ in self.objects_dir.glob("*.json"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ObligationCache({self.directory}, "
+            f"hits={self.stats.hits}, misses={self.stats.misses}, "
+            f"invalidations={self.stats.invalidations})"
+        )

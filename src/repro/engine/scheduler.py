@@ -98,7 +98,8 @@ class ObligationOutcome:
     crashed past the retry budget (``error`` carries the last failure).
     ``attempts`` counts executions tried (1 on the happy path);
     ``resumed`` marks outcomes satisfied from a checkpoint journal
-    instead of executed. ``cache_stats`` is the discharging process's
+    instead of executed; ``cached`` marks outcomes satisfied from the
+    content-addressed result cache (``repro.engine.rcache``). ``cache_stats`` is the discharging process's
     cumulative evaluation-cache snapshot (hits/misses by kind) taken
     right after the obligation ran — both backends record it; benchmarks
     aggregate the last snapshot per ``pid``.
@@ -124,6 +125,7 @@ class ObligationOutcome:
     timed_out: bool = False
     error: Optional[str] = None
     resumed: bool = False
+    cached: bool = False
 
     @property
     def skipped(self) -> bool:

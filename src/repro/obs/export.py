@@ -102,6 +102,8 @@ def chrome_trace(tracer: Tracer) -> dict:
                 args["timed_out"] = True
             if span.resumed:
                 args["resumed"] = True
+            if span.cached:
+                args["cached"] = True
         if span.cache_delta is not None:
             args["cache_delta"] = span.cache_delta
         events.append(
@@ -144,6 +146,7 @@ def _aggregate(spans: Iterable[Span]) -> dict:
         "timeouts": 0,
         "retried": 0,
         "resumed": 0,
+        "cached": 0,
     }
     for span in spans:
         group["obligations"] += 1
@@ -159,6 +162,8 @@ def _aggregate(spans: Iterable[Span]) -> dict:
             group["retried"] += 1
         if span.resumed:
             group["resumed"] += 1
+        if span.cached:
+            group["cached"] += 1
         if span.cache_delta:
             _merge_delta(group["cache_delta"], span.cache_delta)
     group["seconds"] = round(group["seconds"], 6)

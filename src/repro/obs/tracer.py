@@ -57,8 +57,12 @@ class Span:
     crash, retry, pool-rebuild, ... — and ``condition`` the obligation
     key). Obligation spans additionally carry ``attempts`` (execution
     attempts; >1 means the obligation was retried), ``timed_out`` (its
-    deadline expired), and ``resumed`` (satisfied from a checkpoint
-    journal, not executed).
+    deadline expired), ``resumed`` (satisfied from a checkpoint
+    journal, not executed), and ``cached`` (satisfied from the
+    content-addressed result cache, not executed). ``category ==
+    "rcache"`` spans are zero-duration markers of result-cache decisions
+    (``kind`` is hit/miss/invalidation/store/uncacheable and
+    ``condition`` the obligation key).
     """
 
     name: str
@@ -77,6 +81,7 @@ class Span:
     attempts: int = 0
     timed_out: bool = False
     resumed: bool = False
+    cached: bool = False
 
     @property
     def end(self) -> float:
@@ -106,6 +111,8 @@ class Span:
                 record["timed_out"] = True
             if self.resumed:
                 record["resumed"] = True
+            if self.cached:
+                record["cached"] = True
         if self.category == "resilience":
             record["attempts"] = self.attempts
         if self.cache_delta is not None:

@@ -480,6 +480,7 @@ def verify(
     fail_fast: bool = False,
     tracer=None,
     resilience=None,
+    cache=None,
 ) -> ProtocolReport:
     """Full pipeline: IS condition checks, sequential spec on the
     transformed program, and (optionally) the ground-truth refinement
@@ -488,8 +489,10 @@ def verify(
     verdict on the report, not raised."""
     from contextlib import nullcontext
 
+    from ..engine.rcache import ObligationCache
     from .common import BudgetHit, ExplorationBudgetExceeded
 
+    cache = ObligationCache.ensure(cache)
     values = tuple(values if values is not None else default_values(n))
     report = ProtocolReport(
         "broadcast-consensus", {"n": n, "values": values, "iterated": iterated}
@@ -527,6 +530,7 @@ def verify(
                             tracer=tracer,
                             resilience=resilience,
                             checkpoint_label=f"broadcast-consensus-IS-{label}",
+                            cache=cache,
                         )
             except ExplorationBudgetExceeded as exc:
                 report.budget = BudgetHit(f"IS[{label}]", exc.explored, exc.limit)

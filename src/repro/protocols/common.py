@@ -269,6 +269,7 @@ def verify_protocol(
     fail_fast: bool = False,
     tracer=None,
     resilience=None,
+    cache=None,
 ) -> ProtocolReport:
     """Generic protocol pipeline: check each IS application over the
     reachable universe (under the ghost PA context), then the sequential
@@ -293,6 +294,13 @@ def verify_protocol(
     pipeline yields a *partial* report (``interrupted=True``,
     ``status == "INTERRUPTED"``) carrying everything completed — and
     journaled — before the stop, instead of unwinding with a traceback.
+
+    ``cache`` (an :class:`~repro.engine.rcache.ObligationCache` or a
+    directory path) arms the persistent result cache for every IS check:
+    obligations whose dependency fingerprints are unchanged are seeded
+    from the store instead of executed (``ISResult.cached_keys``), and
+    fresh results are stored back. One cache instance is shared across
+    the pipeline's applications.
     """
     from ..core.context import GhostContext
     from ..core.explore import instance_summary
@@ -300,7 +308,9 @@ def verify_protocol(
     from ..core.semantics import initial_config
     from ..core.store import EMPTY_STORE
     from ..core.universe import StoreUniverse
+    from ..engine.rcache import ObligationCache
 
+    cache = ObligationCache.ensure(cache)
     report = ProtocolReport(name, dict(parameters))
     final_program = original
     with tracer.scope(name) if tracer is not None else nullcontext():
@@ -324,6 +334,7 @@ def verify_protocol(
                             tracer=tracer,
                             resilience=resilience,
                             checkpoint_label=f"{name}-IS-{label}",
+                            cache=cache,
                         )
             except ExplorationBudgetExceeded as exc:
                 report.budget = BudgetHit(f"IS[{label}]", exc.explored, exc.limit)

@@ -401,6 +401,7 @@ def verify(
     fail_fast: bool = False,
     tracer=None,
     resilience=None,
+    cache=None,
 ) -> ProtocolReport:
     """Full pipeline for N-Buyer."""
     applications = make_sequentializations(n, prices, contributions)
@@ -417,4 +418,5 @@ def verify(
         fail_fast=fail_fast,
         tracer=tracer,
         resilience=resilience,
+        cache=cache,
     )

@@ -681,6 +681,7 @@ def verify(
     fail_fast: bool = False,
     tracer=None,
     resilience=None,
+    cache=None,
 ) -> ProtocolReport:
     """Full pipeline for Paxos.
 
@@ -701,4 +702,5 @@ def verify(
         fail_fast=fail_fast,
         tracer=tracer,
         resilience=resilience,
+        cache=cache,
     )

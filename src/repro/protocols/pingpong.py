@@ -318,6 +318,7 @@ def verify(
     fail_fast: bool = False,
     tracer=None,
     resilience=None,
+    cache=None,
 ) -> ProtocolReport:
     """Full pipeline for Ping-Pong."""
     application = make_sequentialization(rounds)
@@ -334,4 +335,5 @@ def verify(
         fail_fast=fail_fast,
         tracer=tracer,
         resilience=resilience,
+        cache=cache,
     )

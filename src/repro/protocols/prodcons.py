@@ -222,6 +222,7 @@ def verify(
     fail_fast: bool = False,
     tracer=None,
     resilience=None,
+    cache=None,
 ) -> ProtocolReport:
     """Full pipeline for Producer-Consumer."""
     application = make_sequentialization(bound)
@@ -238,4 +239,5 @@ def verify(
         fail_fast=fail_fast,
         tracer=tracer,
         resilience=resilience,
+        cache=cache,
     )

@@ -475,6 +475,7 @@ def verify(
     fail_fast: bool = False,
     tracer=None,
     resilience=None,
+    cache=None,
 ) -> ProtocolReport:
     """Full pipeline for two-phase commit."""
     applications = make_sequentializations(n)
@@ -491,4 +492,5 @@ def verify(
         fail_fast=fail_fast,
         tracer=tracer,
         resilience=resilience,
+        cache=cache,
     )

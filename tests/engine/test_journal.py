@@ -181,6 +181,37 @@ def test_load_refuses_corrupted_header(tmp_path):
         CheckpointJournal.load(path, FP)
 
 
+def test_torn_multibyte_header_raises_stale_not_unicode_error(tmp_path):
+    """Regression: a header torn mid-UTF-8-sequence used to escape as a
+    raw ``UnicodeDecodeError`` from ``read_text`` before any guard ran —
+    it must degrade to the same StaleJournalError as other corruption."""
+    path = tmp_path / "demo.jsonl"
+    torn = '{"label": "café"'.encode("utf-8")[:-2]  # cut inside 'é'
+    path.write_bytes(torn + b"\n")
+    with pytest.raises(StaleJournalError, match="unreadable header"):
+        CheckpointJournal.load(path, FP)
+
+
+def test_binary_garbage_header_raises_stale_not_unicode_error(tmp_path):
+    path = tmp_path / "demo.jsonl"
+    path.write_bytes(b"\xff\xfe\x00garbage\n")
+    with pytest.raises(StaleJournalError, match="unreadable header"):
+        CheckpointJournal.load(path, FP)
+
+
+def test_torn_multibyte_trailing_record_is_dropped(tmp_path):
+    """Byte-level torn tail: a record cut mid-multibyte-sequence drops
+    exactly like one cut mid-JSON, keeping the valid prefix."""
+    journal, _ = CheckpointJournal.open(tmp_path, "demo", FP, 4)
+    journal.record(_completed("A"))
+    journal.close()
+    path = tmp_path / "demo.jsonl"
+    with open(path, "ab") as handle:
+        handle.write('{"key": "café'.encode("utf-8")[:-1])
+    loaded = CheckpointJournal.load(path, FP)
+    assert set(loaded) == {"A"}
+
+
 def test_load_refuses_wrong_schema_and_empty_file(tmp_path):
     path = tmp_path / "demo.jsonl"
     path.write_text(json.dumps({"schema": "something/else"}) + "\n")

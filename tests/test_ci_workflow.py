@@ -44,6 +44,7 @@ def test_expected_jobs_exist(workflow):
         "bench-smoke",
         "trace-artifact",
         "fault-injection",
+        "incremental-verification",
         "explain-artifact",
     }
 
@@ -131,6 +132,41 @@ def test_fault_injection_job_interrupts_then_resumes(workflow):
     assert "--checkpoint" in interrupted["run"]
     assert "130" in interrupted["run"]
     assert any("--resume" in cmd for cmd in commands)
+
+
+def test_incremental_verification_job_proves_cache_reuse(workflow):
+    """The incremental job must verify twice against one ``--cache``
+    directory, assert the warm run discharges *zero* obligations (the
+    ``executed=0`` grep), then edit exactly one gate through a mutation
+    anchor that still exists in the source and demand a partial re-run
+    (``0 < executed < total``)."""
+    job = workflow["jobs"]["incremental-verification"]
+    assert "fast" in job["needs"]
+    commands = [step["run"] for step in job["steps"] if "run" in step]
+
+    verify_cmds = [cmd for cmd in commands if "repro verify" in cmd]
+    assert len(verify_cmds) == 3, "cold, warm, and post-edit runs"
+    for cmd in verify_cmds:
+        assert "--cache .rcache" in cmd
+        assert "--cache-stats" in cmd
+        # tee feeds the greps; without pipefail a failed verify would
+        # vanish behind tee's exit code.
+        assert "set -o pipefail" in cmd
+
+    warm = verify_cmds[1]
+    assert "executed=0" in warm
+
+    mutation = next(cmd for cmd in commands if "mutation anchor" in cmd)
+    anchor = next(
+        line.split("needle = ", 1)[1].strip("'\" ")
+        for line in mutation.splitlines()
+        if line.strip().startswith("needle =")
+    )
+    source = (ROOT / "src" / "repro" / "protocols" / "pingpong.py").read_text()
+    assert source.count(anchor) == 1, "mutation anchor drifted from source"
+
+    partial = verify_cmds[2]
+    assert "0 < executed < total" in partial
 
 
 def test_explain_job_runs_seeded_fixture_and_gates_on_minimization(workflow):
