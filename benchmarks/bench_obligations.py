@@ -27,6 +27,14 @@ Four configurations of the same check (Paxos, R rounds x N nodes):
     under 3% — arming deadlines and journaling must be cheap enough to
     leave on for long runs.
 
+A ``representation`` section attributes the interned/columnar store
+representation layer by layer: ``serial_dict`` re-runs the serial check
+with interning *and* columnar batching disabled (the dict-shaped
+representation the engine shipped with), ``serial_interned`` with only
+batching disabled, and ``serial_columnar`` is the default fast path —
+plus the pool's IPC saving from shipping int shard bounds over the
+fork-inherited intern table instead of object-graph store slices.
+
 The JSON also carries an ``rcache`` section: a cold/warm/one-edit trio of
 the Paxos check against a persistent obligation-result cache
 (``repro.engine.rcache``) with hit-rate attribution, plus
@@ -65,6 +73,7 @@ import argparse
 import json
 import multiprocessing
 import os
+import pickle
 import sys
 import tempfile
 import time
@@ -81,9 +90,22 @@ from repro.core.cache import (  # noqa: E402
     process_cache,
     reset_process_cache,
 )
+from repro.core.columnar import (  # noqa: E402
+    columnar_disabled,
+    columnar_store,
+)
 from repro.core.context import GhostContext  # noqa: E402
-from repro.core.store import combine  # noqa: E402
+from repro.core.store import (  # noqa: E402
+    combine,
+    interning_disabled,
+    store_interner,
+)
 from repro.core.universe import StoreUniverse  # noqa: E402
+from repro.engine.obligations import (  # noqa: E402
+    build_obligations,
+    lm_slice_count,
+    shard_count,
+)
 from repro.engine.resilience import ResilienceConfig  # noqa: E402
 from repro.engine.scheduler import (  # noqa: E402
     ProcessPoolScheduler,
@@ -314,6 +336,128 @@ def run_incremental_per_protocol() -> dict:
     return rows
 
 
+def _ipc_attribution(app, universe, jobs: int) -> dict:
+    """Shard payload sizes under the pool's sharded layout: what crossing
+    the fork boundary costs when shards carry ``(lo, hi)`` int bounds into
+    the COW-inherited intern table, vs the object-graph alternative (the
+    globals slice itself pickled into every shard)."""
+    num_globals = len(universe.globals_)
+    parallelism = max(2, jobs)
+    lm_targets = list(app.program.action_names())
+    num_pairs = len(app.eliminated) * len(lm_targets)
+    obligations = build_obligations(
+        app,
+        universe,
+        i3_shards=shard_count(num_globals, parallelism),
+        lm_shards=lm_slice_count(num_pairs, num_globals, parallelism),
+    )
+    sharded = [ob for ob in obligations if ob.kind in ("I3", "LMc")]
+    int_bounds_bytes = 0
+    object_graph_bytes = 0
+    for ob in sharded:
+        int_bounds_bytes += len(pickle.dumps(ob, pickle.HIGHEST_PROTOCOL))
+        lo, hi = ob.params[-2], ob.params[-1]
+        replacement = (
+            ob.key,
+            ob.kind,
+            ob.condition,
+            ob.params[:-2],
+            list(universe.globals_[lo:hi]),
+        )
+        object_graph_bytes += len(
+            pickle.dumps(replacement, pickle.HIGHEST_PROTOCOL)
+        )
+    return {
+        "sharded_obligations": len(sharded),
+        "int_bounds_bytes": int_bounds_bytes,
+        "object_graph_bytes": object_graph_bytes,
+        "reduction_factor": (
+            round(object_graph_bytes / int_bounds_bytes, 1)
+            if int_bounds_bytes
+            else None
+        ),
+        "note": (
+            "Bytes pickled across the fork boundary for the sharded "
+            "I3/LMc obligations: as shipped (int (lo, hi) bounds over the "
+            "fork-inherited intern table) vs shipping each shard's "
+            "globals slice as an object graph."
+        ),
+    }
+
+
+def run_representation_attribution(app, init_global, jobs: int, reps: int = 2) -> dict:
+    """Per-layer attribution of the interned/columnar representation on
+    one serial check: ``serial_dict`` (interning and columns both off —
+    the dict-shaped representation the engine shipped with),
+    ``serial_interned`` (int memo keys and id-pair combine, row-at-a-time
+    loops), ``serial_columnar`` (the default batched fast path).
+
+    The three modes interleave round-robin and each reports its best rep
+    — successive checks in one process drift slower (allocator/GC), and
+    measuring the modes in blocks would bill that drift to whichever mode
+    ran last."""
+
+    def _run(mode):
+        reset_process_cache()
+        combine.cache_clear()
+        if mode == "dict":
+            with interning_disabled(), columnar_disabled():
+                universe = _build_universe(app, init_global, uncached=False)
+                return _timed_check(app, universe, jobs=1)
+        if mode == "interned":
+            with columnar_disabled():
+                universe = _build_universe(app, init_global, uncached=False)
+                return _timed_check(app, universe, jobs=1)
+        universe = _build_universe(app, init_global, uncached=False)
+        result, elapsed = _timed_check(app, universe, jobs=1)
+        stats = {
+            "interner": store_interner().stats(),
+            "columns": columnar_store().stats(),
+        }
+        return result, elapsed, stats
+
+    times = {"dict": None, "interned": None, "columnar": None}
+    maps = {}
+    columnar_stats = None
+    for _ in range(max(1, reps)):
+        for mode in ("dict", "interned", "columnar"):
+            out = _run(mode)
+            result, elapsed = out[0], out[1]
+            if mode == "columnar":
+                columnar_stats = out[2]
+            maps[mode] = _condition_map(result)
+            if times[mode] is None or elapsed < times[mode]:
+                times[mode] = elapsed
+    assert maps["dict"] == maps["interned"] == maps["columnar"], (
+        "representation modes disagree on the condition map"
+    )
+
+    reset_process_cache()
+    combine.cache_clear()
+    ipc = _ipc_attribution(
+        app, _build_universe(app, init_global, uncached=False), jobs
+    )
+    return {
+        "wall_time_seconds": {
+            "serial_dict": round(times["dict"], 3),
+            "serial_interned": round(times["interned"], 3),
+            "serial_columnar": round(times["columnar"], 3),
+        },
+        "speedup": {
+            # Layer attribution: interning alone, batching on top of
+            # interning, and the combined fast path vs the dict oracle.
+            "interning_vs_dict": round(times["dict"] / times["interned"], 2),
+            "batching_vs_interned": round(
+                times["interned"] / times["columnar"], 2
+            ),
+            "columnar_vs_dict": round(times["dict"] / times["columnar"], 2),
+        },
+        "columnar_run_stats": columnar_stats,
+        "ipc": ipc,
+        "reps_per_mode": max(1, reps),
+    }
+
+
 def run_smoke(rounds: int = 1, nodes: int = 1) -> dict:
     """The CI guard: smallest Paxos instance, serial backend only.
 
@@ -328,6 +472,9 @@ def run_smoke(rounds: int = 1, nodes: int = 1) -> dict:
     result, seconds = _timed_check(app, universe, jobs=1)
     with tempfile.TemporaryDirectory(prefix="bench-rcache-smoke-") as d:
         rcache = _cache_trio(app, universe, d)
+    representation = run_representation_attribution(
+        app, init_global, jobs=4, reps=1
+    )
     return {
         "benchmark": "obligation discharge (Paxos) — smoke",
         "mode": "smoke",
@@ -341,6 +488,7 @@ def run_smoke(rounds: int = 1, nodes: int = 1) -> dict:
         "verdict": result.holds,
         "cache_hit_rates_serial": {"evaluation": process_cache().as_dict()},
         "rcache": rcache,
+        "representation": representation,
     }
 
 
@@ -450,6 +598,9 @@ def run_benchmark(rounds: int, nodes: int, jobs: int, tracer=None) -> dict:
         rcache_trio = _cache_trio(app, rcache_universe, d)
     incremental = run_incremental_per_protocol()
 
+    # --- representation attribution: dict vs interned vs columnar ----------
+    representation = run_representation_attribution(app, init_global, jobs)
+
     effective_jobs = warm_scheduler.jobs
     slowest = sorted(
         serial_result.timings.items(), key=lambda kv: kv[1], reverse=True
@@ -518,6 +669,14 @@ def run_benchmark(rounds: int, nodes: int, jobs: int, tracer=None) -> dict:
             # invariant readers — see 'invalidations' in its attribution.
             "trio": rcache_trio,
             "incremental_vs_full_by_protocol": incremental,
+        },
+        "representation": {
+            # Per-layer attribution of the interned/columnar store
+            # representation: interning alone (int memo keys, id-pair
+            # combine), columnar batching on top, and what the pool's int
+            # shard bounds save over object-graph shards at the fork
+            # boundary.
+            **representation,
         },
         "workers_warm": _worker_summary(warm_result),
         "workers_cold": _worker_summary(cold_result),

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from .action import Action, Transition
-from .store import Store
+from .store import Store, memo_key, reset_store_interner
 
 __all__ = [
     "CacheStats",
@@ -49,6 +49,7 @@ __all__ = [
     "active_cache",
     "caching_disabled",
     "reset_process_cache",
+    "register_reset_hook",
     "counts_snapshot",
     "snapshot_delta",
 ]
@@ -82,13 +83,22 @@ class CacheStats:
 
 
 class _Memo:
-    """Shared memo tables for one (gate, transitions) callable pair."""
+    """Shared memo tables for one (gate, transitions) callable pair.
+
+    Keyed by :func:`repro.core.store.memo_key` — the store's intern id,
+    an int, so lookups hash a machine word instead of a frozen item set.
+    (While interning is disabled for baseline measurements the key is the
+    store itself; int and Store keys never compare equal, so the modes
+    cannot alias.) Int keys are only meaningful against the intern table
+    that minted them, which is why :func:`reset_process_cache` clears the
+    interner and these memos together.
+    """
 
     __slots__ = ("gates", "outcomes", "gate_stats", "transition_stats")
 
     def __init__(self) -> None:
-        self.gates: Dict[Store, bool] = {}
-        self.outcomes: Dict[Store, List[Transition]] = {}
+        self.gates: Dict[object, bool] = {}
+        self.outcomes: Dict[object, List[Transition]] = {}
         self.gate_stats = CacheStats()
         self.transition_stats = CacheStats()
 
@@ -127,22 +137,24 @@ class CachedAction:
 
     def gate(self, state: Store) -> bool:
         memo = self._memo
-        cached = memo.gates.get(state)
+        key = memo_key(state)
+        cached = memo.gates.get(key)
         if cached is None:
             memo.gate_stats.misses += 1
             cached = bool(self.action.gate(state))
-            memo.gates[state] = cached
+            memo.gates[key] = cached
         else:
             memo.gate_stats.hits += 1
         return cached
 
     def transitions(self, state: Store) -> List[Transition]:
         memo = self._memo
-        cached = memo.outcomes.get(state)
+        key = memo_key(state)
+        cached = memo.outcomes.get(key)
         if cached is None:
             memo.transition_stats.misses += 1
             cached = list(self.action.transitions(state))
-            memo.outcomes[state] = cached
+            memo.outcomes[key] = cached
         else:
             memo.transition_stats.hits += 1
         return cached
@@ -264,10 +276,31 @@ def process_cache() -> EvaluationCache:
     return _PROCESS_CACHE
 
 
+#: Reset hooks for caches whose keys are minted from the intern table
+#: (``repro.core.columnar`` registers its column store here). Running them
+#: from :func:`reset_process_cache` keeps every int-keyed layer coherent
+#: with the table that minted its keys.
+_RESET_HOOKS: List = []
+
+
+def register_reset_hook(hook) -> None:
+    """Run ``hook()`` whenever :func:`reset_process_cache` fires."""
+    _RESET_HOOKS.append(hook)
+
+
 def reset_process_cache() -> None:
-    """Drop the process cache (tests and benchmarks use this for cold runs)."""
+    """Drop the process cache (tests and benchmarks use this for cold runs).
+
+    Also clears the store interner and every registered dependent cache:
+    evaluation memos and columnar tables key by intern ids, so the three
+    layers must reset as one — a cleared interner would otherwise re-mint
+    ids that alias stale memo entries.
+    """
     global _PROCESS_CACHE
     _PROCESS_CACHE = None
+    reset_store_interner()
+    for hook in _RESET_HOOKS:
+        hook()
 
 
 def active_cache() -> Optional[EvaluationCache]:

@@ -1,0 +1,31 @@
+"""The one canonical hash for unordered ``(key, value)`` collections.
+
+:class:`~repro.core.store.Store`, :class:`~repro.core.multiset.Multiset`
+and :class:`~repro.core.mapping.FrozenDict` are all content-hashed
+containers whose equality ignores insertion order. Their ``__hash__``
+implementations used to be three copy-pasted ``hash(frozenset(...))``
+expressions — three places for the digest to silently drift apart (and the
+store interner and the rcache fingerprints both assume eq/hash agree).
+This module is the single shared definition; the hypothesis properties in
+``tests/core/test_hashing.py`` pin eq/hash consistency for all three
+containers against it.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Tuple
+
+__all__ = ["unordered_items_hash"]
+
+
+def unordered_items_hash(items: Iterable[Tuple[Hashable, Hashable]]) -> int:
+    """Order-insensitive hash of an ``(key, value)`` item collection.
+
+    Two collections with equal item *sets* hash equal regardless of
+    iteration order — exactly the invariant ``dict``-backed equality
+    needs. ``frozenset`` hashing already mixes the per-item hashes
+    commutatively and is C-implemented; wrapping it here (rather than
+    inlining it at every call site) is what keeps the three containers'
+    digests provably identical.
+    """
+    return hash(frozenset(items))

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterator, Mapping, Tuple
 
+from .hashing import unordered_items_hash
+
 __all__ = ["FrozenDict"]
 
 
@@ -74,7 +76,7 @@ class FrozenDict:
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(frozenset(self._data.items()))
+            self._hash = unordered_items_hash(self._data.items())
         return self._hash
 
     def __repr__(self) -> str:

@@ -27,6 +27,7 @@ from typing import Dict, Iterable, Tuple
 from ..diagnose.witness import COUNTEREXAMPLE_KEEP, CommutationWitness, GateWitness
 from .action import Action
 from .cache import CachedAction, active_cache
+from .columnar import left_mover_condition_columnar
 from .program import Program
 from .refinement import CheckResult, _fail
 from .store import Store, combine
@@ -96,6 +97,11 @@ def _gate_forward_preserved(
     l, x, universe: StoreUniverse, fail_fast: bool = False, globals_subset=None
 ) -> CheckResult:
     """Condition (1): ρ_l stays true across any gate-satisfying x step."""
+    fast = left_mover_condition_columnar(
+        "forward_preservation", l, x, universe, fail_fast, globals_subset
+    )
+    if fast is not None:
+        return fast
     result = CheckResult(f"gate of {l.name} forward-preserved by {x.name}", True)
     for g in universe.globals_ if globals_subset is None else globals_subset:
         for ll in universe.locals_for(l.name):
@@ -131,6 +137,11 @@ def _gate_backward_preserved(
     l, x, universe: StoreUniverse, fail_fast: bool = False, globals_subset=None
 ) -> CheckResult:
     """Condition (2): if ρ_x holds after an l step, it held before."""
+    fast = left_mover_condition_columnar(
+        "backward_preservation", l, x, universe, fail_fast, globals_subset
+    )
+    if fast is not None:
+        return fast
     result = CheckResult(f"gate of {x.name} backward-preserved by {l.name}", True)
     for g in universe.globals_ if globals_subset is None else globals_subset:
         for ll in universe.locals_for(l.name):
@@ -166,6 +177,11 @@ def _commutes_left(
     l, x, universe: StoreUniverse, fail_fast: bool = False, globals_subset=None
 ) -> CheckResult:
     """Condition (3): every x;l execution has a matching l;x execution."""
+    fast = left_mover_condition_columnar(
+        "commutation", l, x, universe, fail_fast, globals_subset
+    )
+    if fast is not None:
+        return fast
     result = CheckResult(f"{l.name} commutes to the left of {x.name}", True)
     for g in universe.globals_ if globals_subset is None else globals_subset:
         for ll in universe.locals_for(l.name):
@@ -217,6 +233,11 @@ def _non_blocking(
     l, universe: StoreUniverse, fail_fast: bool = False, globals_subset=None
 ) -> CheckResult:
     """Condition (4): the action has a transition from every gate store."""
+    fast = left_mover_condition_columnar(
+        "non_blocking", l, l, universe, fail_fast, globals_subset
+    )
+    if fast is not None:
+        return fast
     result = CheckResult(f"{l.name} non-blocking", True)
     for g in universe.globals_ if globals_subset is None else globals_subset:
         for ll in universe.locals_for(l.name):

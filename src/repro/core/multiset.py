@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Iterator, Tuple
 
+from .hashing import unordered_items_hash
+
 __all__ = ["Multiset", "EMPTY"]
 
 
@@ -155,7 +157,7 @@ class Multiset:
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(frozenset(self._counts.items()))
+            self._hash = unordered_items_hash(self._counts.items())
         return self._hash
 
     def __repr__(self) -> str:

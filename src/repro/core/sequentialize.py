@@ -43,12 +43,13 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 from ..diagnose.witness import GateWitness, MissingTransitionWitness
 from .action import Action, PendingAsync, Transition
 from .cache import active_cache
+from .columnar import columnar_active, columnar_store, i3_fast_path
 from .movers import is_left_mover, is_left_mover_wrt_program
 from .multiset import Multiset
 from .program import Program
 from .refinement import CheckResult, _fail, check_action_refinement
 from .semantics import Config
-from .store import Store, combine
+from .store import Store, combine, store_interner
 from .universe import StoreUniverse
 from .wellfounded import LexicographicMeasure
 
@@ -392,6 +393,29 @@ class ISApplication:
                             view.transitions(state)
         return evaluated
 
+    def warm_columns(self, universe: StoreUniverse) -> int:
+        """Pre-fill the columnar gate and successor tables for the same
+        (view, locals) pairs as :meth:`warm_evaluation_cache`.
+
+        The process-pool scheduler runs this in the parent before forking,
+        so workers inherit filled columns copy-on-write instead of
+        re-deriving them per shard (see ``repro.core.columnar``). Returns
+        the number of column entries filled; 0 when the columnar path is
+        inactive.
+        """
+        if not columnar_active():
+            return 0
+        cs = columnar_store()
+        itn = store_interner()
+        gids = [itn.intern(g) for g in universe.globals_]
+        before = cs.gate_fills + cs.succ_fills
+        for view, locals_pool in self._warm_views(universe):
+            for l in locals_pool:
+                lid = itn.intern(l)
+                gate_col = cs.gate_column(view, lid, gids)
+                cs.succ_column(view, lid, gids, where=gate_col)
+        return cs.gate_fills + cs.succ_fills - before
+
     # ------------------------------------------------------------------ #
     # Condition checks
     # ------------------------------------------------------------------ #
@@ -484,13 +508,27 @@ class ISApplication:
             universe.globals_ if globals_subset is None else globals_subset
         )
         locals_pool = universe.locals_for(self.m_name)
-        for g in globals_pool:
-            for l in locals_pool:
-                sigma = combine(g, l)
-                if not universe.single_ok(g, self.m_name, l):
-                    continue
-                if not invariant.gate(sigma):
-                    continue
+        # Column-backed lookups for the three hot predicates (admissibility,
+        # invariant gate, abstraction gates); None -> dict-shaped oracle.
+        # Both sides enumerate in the same order and count the same checks.
+        fast = i3_fast_path(
+            universe, globals_pool, self.m_name, locals_pool, invariant
+        )
+        for gi, g in enumerate(globals_pool):
+            for li, l in enumerate(locals_pool):
+                if fast is not None:
+                    gid = fast.gids[gi]
+                    if not fast.single_ok(li, gid):
+                        continue
+                    if not fast.invariant_gate(li, gid):
+                        continue
+                    sigma = combine(g, l)
+                else:
+                    sigma = combine(g, l)
+                    if not universe.single_ok(g, self.m_name, l):
+                        continue
+                    if not invariant.gate(sigma):
+                        continue
                 outcomes = list(invariant.transitions(sigma))
                 outcome_set = set(outcomes)
                 for t in outcomes:
@@ -512,7 +550,13 @@ class ISApplication:
                     abstraction = abstraction_views[chosen.action]
                     state_a = combine(t.new_global, chosen.locals)
                     result.checked += 1
-                    if not abstraction.gate(state_a):
+                    if fast is not None:
+                        gate_a = fast.abstraction_gate(
+                            abstraction, chosen.locals, t.new_global
+                        )
+                    else:
+                        gate_a = abstraction.gate(state_a)
+                    if not gate_a:
                         _fail(
                             result,
                             GateWitness(

@@ -11,14 +11,42 @@ by convention: an action's local store carries its parameters (e.g. the node
 id ``i`` of ``Broadcast(i)``), while the global store carries protocol state
 and channels. :func:`combine` implements :math:`g \\cdot \\ell` and
 :meth:`Store.globals_of` projects the global part back out.
+
+Interning
+---------
+
+The IS conditions quantify over *finite* store universes, so the same few
+thousand stores are combined, hashed and compared millions of times per
+discharge run. :class:`StoreInterner` maps every distinct store to a small
+integer exactly once (structural sharing: equal stores resolve to one
+canonical object and one id), which turns the engine's memo keys into
+ints, lets predicate evaluation run over integer-indexed columns (see
+``repro.core.columnar``), and makes fork-pool work shipping a matter of
+int ranges over a copy-on-write-inherited table. Intern ids are
+process-local and ephemeral — persistent fingerprints
+(``repro.engine.rcache``) always hash canonical store *contents*, never
+ids, so cached verification results survive interner resets and process
+boundaries.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
 
-__all__ = ["Store", "EMPTY_STORE", "combine"]
+from .hashing import unordered_items_hash
+
+__all__ = [
+    "Store",
+    "EMPTY_STORE",
+    "combine",
+    "StoreInterner",
+    "store_interner",
+    "intern_epoch",
+    "reset_store_interner",
+    "interning_active",
+    "interning_disabled",
+    "memo_key",
+]
 
 Value = Hashable
 
@@ -35,11 +63,12 @@ class Store:
     1
     """
 
-    __slots__ = ("_data", "_hash")
+    __slots__ = ("_data", "_hash", "_iid")
 
     def __init__(self, data: Mapping[str, Value] = ()):
         self._data: Dict[str, Value] = dict(data)
         self._hash = None
+        self._iid = None
 
     def __getitem__(self, name: str) -> Value:
         return self._data[name]
@@ -105,8 +134,19 @@ class Store:
 
     def __hash__(self) -> int:
         if self._hash is None:
-            self._hash = hash(frozenset(self._data.items()))
+            self._hash = unordered_items_hash(self._data.items())
         return self._hash
+
+    def __getstate__(self):
+        # Only the contents travel across pickling: the cached hash is
+        # cheap to recompute and the intern tag is meaningless in any
+        # other process (ids are process-local).
+        return self._data
+
+    def __setstate__(self, state):
+        self._data = state
+        self._hash = None
+        self._iid = None
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self._data.items()))
@@ -117,7 +157,210 @@ class Store:
 EMPTY_STORE = Store()
 
 
-@lru_cache(maxsize=262_144)
+class StoreInterner:
+    """Process-wide intern table: every distinct store gets one small int.
+
+    ``intern`` resolves a store to its id (assigning the next id on first
+    sight) and stamps the id onto the object, so repeat lookups are an
+    attribute read instead of a dict probe. The stamp carries the
+    interner's *epoch* (a fresh sentinel per table), so a stamp minted
+    against a cleared or replaced table is detected and re-resolved rather
+    than trusted — a stale id can never alias a different store.
+
+    The interner also owns the memo for :func:`combine` (g·l): keyed by
+    the ``(global id, local id)`` int pair, with the result canonicalized
+    through the table so equal combined stores are one object everywhere.
+    This replaces the old module-level ``lru_cache``, whose entries
+    survived across protocol runs and test cases with no way to account
+    for or release them; the interner is explicitly scoped — ``clear()``
+    drops everything, and ``repro.core.cache.reset_process_cache`` calls
+    it so eval-cache and interner lifetimes stay coupled (int memo keys
+    must never outlive the table that minted them).
+
+    Forked pool workers inherit the parent's table through copy-on-write:
+    ids agree across the pool by construction, and a child's inserts land
+    on its own pages.
+    """
+
+    __slots__ = (
+        "_ids",
+        "_stores",
+        "_combined",
+        "_dict_combined",
+        "_epoch",
+        "disabled_depth",
+        "hits",
+        "misses",
+    )
+
+    def __init__(self) -> None:
+        self._ids: Dict[Store, int] = {}
+        self._stores: List[Store] = []
+        self._combined: Dict[Tuple[int, int], Store] = {}
+        # Store-keyed combine memo used only while interning is disabled —
+        # the faithful stand-in for the retired ``lru_cache`` so benchmarks
+        # can still measure the dict-shaped representation as a baseline.
+        self._dict_combined: Dict[Tuple[Store, Store], Store] = {}
+        self._epoch = object()
+        # Re-entrant :class:`interning_disabled` nesting depth. Lives on
+        # the interner (not as a module global) so :func:`combine`'s only
+        # mutable referenced global is the interner itself, which the
+        # persistent result cache digests as a constant token (see
+        # ``repro.engine.rcache``) — memo contents never affect semantics.
+        self.disabled_depth = 0
+        self.hits = 0
+        self.misses = 0
+
+    def intern(self, store: Store) -> int:
+        """The id of ``store`` (assigned on first sight, O(1) after)."""
+        tag = store._iid
+        if tag is not None and tag[0] is self._epoch:
+            return tag[1]
+        idx = self._ids.get(store)
+        if idx is None:
+            idx = len(self._stores)
+            self._ids[store] = idx
+            self._stores.append(store)
+        store._iid = (self._epoch, idx)
+        return idx
+
+    def canonical(self, store: Store) -> Store:
+        """The one shared object equal stores resolve to."""
+        return self._stores[self.intern(store)]
+
+    def store_of(self, idx: int) -> Store:
+        """The canonical store with id ``idx``."""
+        return self._stores[idx]
+
+    def memo_key(self, store: Store):
+        """Alias of :meth:`intern` under the name the memo layers use."""
+        return self.intern(store)
+
+    def combine(self, global_store: Store, local_store: Store) -> Store:
+        """Memoized g·l, keyed by the ``(int, int)`` id pair."""
+        key = (self.intern(global_store), self.intern(local_store))
+        result = self._combined.get(key)
+        if result is None:
+            self.misses += 1
+            result = self.canonical(global_store.merge(local_store))
+            self._combined[key] = result
+        else:
+            self.hits += 1
+        return result
+
+    def combine_ids(self, gid: int, lid: int) -> Store:
+        """g·l straight from intern ids (the columnar layer's entry)."""
+        key = (gid, lid)
+        result = self._combined.get(key)
+        if result is None:
+            self.misses += 1
+            result = self.canonical(self._stores[gid].merge(self._stores[lid]))
+            self._combined[key] = result
+        else:
+            self.hits += 1
+        return result
+
+    def clear(self) -> None:
+        """Drop the table, the combine memo, and all outstanding id
+        stamps (the epoch changes, so stamped stores re-resolve)."""
+        self._ids.clear()
+        self._stores.clear()
+        self._combined.clear()
+        self._epoch = object()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._stores)
+
+    @property
+    def combined_entries(self) -> int:
+        return len(self._combined)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for ``cache_stats`` reporting: table size, combine
+        memo size, and combine hit/miss counts."""
+        return {
+            "stores": len(self._stores),
+            "combined": len(self._combined),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"StoreInterner({len(self._stores)} stores, "
+            f"{len(self._combined)} combined, "
+            f"{self.hits} hits / {self.misses} misses)"
+        )
+
+
+_INTERNER = StoreInterner()
+
+
+def store_interner() -> StoreInterner:
+    """The process's intern table (forked children share it COW)."""
+    return _INTERNER
+
+
+def intern_epoch() -> object:
+    """Identity token of the current intern-table generation (changes on
+    every :meth:`StoreInterner.clear`). Caches that key by intern ids but
+    live outside :func:`repro.core.cache.reset_process_cache`'s reach —
+    e.g. a long-lived :class:`~repro.core.universe.StoreUniverse`'s
+    admissibility memos — compare it (by identity) to detect staleness."""
+    return _INTERNER._epoch
+
+
+def interning_active() -> bool:
+    """False inside :func:`interning_disabled` blocks."""
+    return not _INTERNER.disabled_depth
+
+
+def memo_key(store: Store):
+    """The key memo layers index evaluations by: the store's intern id
+    (an int) normally, the store itself while interning is disabled.
+
+    Int and Store keys can share a dict without aliasing (they never
+    compare equal), so flipping the mode mid-process is safe — benchmarks
+    still reset the caches between modes for honest measurements.
+    """
+    if _INTERNER.disabled_depth:
+        return store
+    return _INTERNER.intern(store)
+
+
+class interning_disabled:
+    """Fall back to the dict-shaped representation (re-entrant).
+
+    Benchmarks use this to measure the pre-interning baseline for the
+    per-layer attribution in BENCH_obligations.json: ``combine`` memoizes
+    under ``(Store, Store)`` keys and evaluation memos key by the store
+    object, exactly the retired representation. Columnar evaluation keys
+    by intern ids, so disabling interning implies the columnar fast path
+    is skipped too (``repro.core.columnar`` checks this flag).
+    """
+
+    def __enter__(self):
+        _INTERNER.disabled_depth += 1
+        return self
+
+    def __exit__(self, *exc_info):
+        _INTERNER.disabled_depth -= 1
+        _INTERNER._dict_combined.clear()
+
+
+def reset_store_interner() -> None:
+    """Clear the process intern table.
+
+    Int memo keys elsewhere (``repro.core.cache``, ``repro.core.columnar``)
+    are minted from this table, so prefer
+    :func:`repro.core.cache.reset_process_cache`, which resets all three
+    layers together.
+    """
+    _INTERNER.clear()
+
+
 def combine(global_store: Store, local_store: Store) -> Store:
     """The paper's :math:`g \\cdot \\ell` combination of stores.
 
@@ -126,7 +369,26 @@ def combine(global_store: Store, local_store: Store) -> Store:
     matters in practice.
 
     This is the single authoritative definition (``repro.core.movers``
-    re-exports it). Memoized: exploration and the mover/IS checks recombine
-    the same (global, local) pairs many times, and stores are immutable.
+    re-exports it). Memoized through the process :class:`StoreInterner`
+    under ``(int, int)`` id keys — explicitly scoped (cleared with the
+    interner) instead of the old module-level ``lru_cache``, which
+    accumulated stores across runs forever.
     """
-    return global_store.merge(local_store)
+    itn = _INTERNER
+    if itn.disabled_depth:
+        key = (global_store, local_store)
+        result = itn._dict_combined.get(key)
+        if result is None:
+            result = global_store.merge(local_store)
+            itn._dict_combined[key] = result
+        return result
+    return itn.combine(global_store, local_store)
+
+
+def _combine_cache_clear() -> None:
+    """Back-compat shim for the old ``combine.cache_clear()`` call sites:
+    clears the interner (table + memo) outright."""
+    _INTERNER.clear()
+
+
+combine.cache_clear = _combine_cache_clear  # type: ignore[attr-defined]

@@ -30,7 +30,7 @@ from .context import NoContext, PAContext
 from .explore import explore
 from .program import Program
 from .semantics import Config
-from .store import EMPTY_STORE, Store, combine
+from .store import EMPTY_STORE, Store, combine, intern_epoch, memo_key
 
 __all__ = ["StoreUniverse"]
 
@@ -57,6 +57,48 @@ class StoreUniverse:
     context_cache_stats: CacheStats = field(
         default_factory=CacheStats, repr=False, compare=False
     )
+    _memo_epoch: object = field(default=None, repr=False, compare=False)
+    _gids_cache: object = field(default=None, repr=False, compare=False)
+    _g_ck: Dict[object, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _ck_ids: Dict[object, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def _fresh_memo_keys(self) -> None:
+        """Admissibility memos key locals by intern id, but this object may
+        outlive an intern-table reset (``reset_process_cache`` cannot reach
+        per-universe state) — so drop the memos whenever the table's epoch
+        moved, before a stale id can alias a different store."""
+        epoch = intern_epoch()
+        if self._memo_epoch is not epoch:
+            self._pair_cache.clear()
+            self._single_cache.clear()
+            self._gids_cache = None
+            self._g_ck.clear()
+            self._ck_ids.clear()
+            self._memo_epoch = epoch
+
+    def _class_of(self, global_store: Store) -> int:
+        """The dense index of the global's context ``cache_key`` class, or
+        -1 when the context declares its decisions uncachable.  Keying the
+        admissibility memos by this small int (instead of the cache_key
+        object itself, typically a ghost multiset) keeps probe hashing off
+        the multisets."""
+        gk = memo_key(global_store)
+        ck = self._g_ck.get(gk)
+        if ck is None:
+            ckey = self.context.cache_key(global_store)
+            if ckey is None:
+                ck = -1
+            else:
+                ck = self._ck_ids.get(ckey)
+                if ck is None:
+                    ck = len(self._ck_ids)
+                    self._ck_ids[ckey] = ck
+            self._g_ck[gk] = ck
+        return ck
 
     @classmethod
     def from_reachable(
@@ -149,10 +191,11 @@ class StoreUniverse:
 
     def single_ok(self, global_store: Store, action_name: str, locals_: Store) -> bool:
         """May PA ``(locals_, action_name)`` be scheduled from this global?"""
-        ckey = self.context.cache_key(global_store)
-        if ckey is None:
+        self._fresh_memo_keys()
+        ck = self._class_of(global_store)
+        if ck < 0:
             return self.context.single(global_store, PendingAsync(action_name, locals_))
-        key = (ckey, action_name, locals_)
+        key = (ck, action_name, memo_key(locals_))
         cached = self._single_cache.get(key)
         if cached is None:
             self.context_cache_stats.misses += 1
@@ -179,14 +222,15 @@ class StoreUniverse:
         the global store the context actually reads (e.g. the ghost
         multiset), under which many globals collapse to one entry.
         """
-        ckey = self.context.cache_key(global_store)
-        if ckey is None:
+        self._fresh_memo_keys()
+        ck = self._class_of(global_store)
+        if ck < 0:
             return self.context.pair(
                 global_store,
                 PendingAsync(name1, locals1),
                 PendingAsync(name2, locals2),
             )
-        key = (ckey, name1, locals1, name2, locals2)
+        key = (ck, name1, memo_key(locals1), name2, memo_key(locals2))
         cached = self._pair_cache.get(key)
         if cached is None:
             self.context_cache_stats.misses += 1

@@ -67,10 +67,12 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from ..core.action import Action, PendingAsync, Transition
+from ..core.cache import EvaluationCache
+from ..core.columnar import ColumnarStore
 from ..core.mapping import FrozenDict
 from ..core.multiset import Multiset
 from ..core.program import Program
-from ..core.store import Store
+from ..core.store import Store, StoreInterner
 from .journal import JournaledOutcome
 
 __all__ = [
@@ -99,6 +101,14 @@ _ADDRESS_RE = re.compile(r"0x[0-9a-fA-F]+")
 #: ghost multisets repeat :class:`PendingAsync` values across thousands
 #:  of stores, so the memo turns the universe fingerprint near-linear.
 _MEMO_TYPES = (Store, Multiset, FrozenDict, PendingAsync, Transition, Action)
+
+#: Memoization infrastructure: pure caches over pure functions, whose
+#: contents are a record of *what was evaluated*, never an input to what
+#: any obligation computes. Digested as a bare class token — ``combine``
+#: references the process :class:`StoreInterner` as a module global, and
+#: hashing the table's contents would churn every function digest that
+#: (transitively) mentions ``combine`` as caches fill.
+_MEMO_INFRA = (StoreInterner, ColumnarStore, EvaluationCache)
 
 
 class Unfingerprintable(Exception):
@@ -138,10 +148,11 @@ class _Hasher:
         # Scalars first: cheap, and never part of a cycle.
         if obj is None:
             return _hex("none")
-        if obj is True or obj is False:
-            return _hex("bool", str(obj))
         if isinstance(obj, int):
-            return _hex("int", str(obj))
+            # Bools digest as their int value: False == 0 and True == 1
+            # as dict/set/multiset keys, so which spelling survives key
+            # collapse is insertion-order noise the digest must not see.
+            return _hex("int", str(int(obj)))
         if isinstance(obj, float):
             return _hex("float", repr(obj))
         if isinstance(obj, str):
@@ -164,6 +175,8 @@ class _Hasher:
 
     def _compound(self, obj, path, depth) -> str:
         dig = lambda x: self.digest(x, path, depth)  # noqa: E731
+        if isinstance(obj, _MEMO_INFRA):
+            return _hex("class", type(obj).__module__, type(obj).__qualname__)
         if isinstance(obj, tuple):
             return _hex("tuple", *[dig(x) for x in obj])
         if isinstance(obj, list):

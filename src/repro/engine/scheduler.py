@@ -378,12 +378,28 @@ def _worker_run(key: str, attempt: int = 0, deadline: Optional[float] = None):
     )
 
 
+def _available_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's cores, which overcounts under a
+    CPU-affinity mask or a container cgroup quota — a pool clamped to it
+    would still oversubscribe the schedulable CPUs. Prefer the affinity
+    mask where the platform exposes one.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
 class ProcessPoolScheduler:
     """Discharge obligations across ``jobs`` forked worker processes.
 
-    ``jobs`` beyond the host's CPU count buys nothing (the workers are
-    CPU-bound), so the effective worker count is clamped to
-    ``os.cpu_count()`` with a warning — pass ``clamp=False`` to force the
+    ``jobs`` beyond the schedulable CPU count buys nothing (the workers
+    are CPU-bound), so the effective worker count is clamped to the CPUs
+    available to this process (the scheduling-affinity set where the
+    platform exposes it, ``os.cpu_count()`` otherwise) with a warning —
+    pass ``clamp=False`` to force the
     requested count (tests use this to exercise sharding on small hosts).
     ``warm=False`` skips the parent's cache warm-up pass. ``resilience``
     configures deadlines, crash retries, and pool-rebuild bounds (see the
@@ -409,12 +425,13 @@ class ProcessPoolScheduler:
     ):
         self.requested_jobs = int(jobs)
         effective = max(1, self.requested_jobs)
-        cpus = os.cpu_count() or 1
+        cpus = _available_cpus()
         if clamp and effective > cpus:
             warnings.warn(
-                f"jobs={self.requested_jobs} exceeds the {cpus} available "
-                f"CPU(s); clamping the worker pool to {cpus} (extra "
-                f"CPU-bound workers only add fork overhead)",
+                f"jobs={self.requested_jobs} exceeds the {cpus} CPU(s) "
+                f"available to this process (CPU affinity / cgroup quota, "
+                f"not the host's core count); clamping the worker pool to "
+                f"{cpus} (extra CPU-bound workers only add fork overhead)",
                 RuntimeWarning,
                 stacklevel=2,
             )
@@ -478,6 +495,10 @@ class ProcessPoolScheduler:
         if self.warm and active_cache() is not None:
             started = time.perf_counter()
             self.last_warmed_evaluations = app.warm_evaluation_cache(universe)
+            # Fill the columnar tables too: workers inherit the intern
+            # table and columns copy-on-write alongside the memos, so a
+            # forked worker starts each shard on filled columns.
+            app.warm_columns(universe)
             process_cache().mark_inheritable()
             self.last_warmup_started = started
             self.last_warmup_seconds = time.perf_counter() - started

@@ -302,6 +302,7 @@ def verify_protocol(
     fresh results are stored back. One cache instance is shared across
     the pipeline's applications.
     """
+    from ..core.cache import reset_process_cache
     from ..core.context import GhostContext
     from ..core.explore import instance_summary
     from ..core.refinement import check_program_refinement
@@ -310,6 +311,12 @@ def verify_protocol(
     from ..core.universe import StoreUniverse
     from ..engine.rcache import ObligationCache
 
+    # Each verification run starts from empty process-level caches: the
+    # intern table, the evaluation memos, and the columnar tables all grow
+    # monotonically during a run, and letting them persist across runs
+    # accumulated the previous protocols' stores forever (the historical
+    # module-level ``combine`` lru_cache had exactly this leak).
+    reset_process_cache()
     cache = ObligationCache.ensure(cache)
     report = ProtocolReport(name, dict(parameters))
     final_program = original

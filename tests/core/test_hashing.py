@@ -1,0 +1,82 @@
+"""Eq/hash-consistency properties for the content-hashed containers.
+
+Store, Multiset and FrozenDict all hash through
+:func:`repro.core.hashing.unordered_items_hash`; the interner's identity
+discipline and the evaluation-cache memo keys both assume that equal
+containers hash equal (and that insertion order never leaks into either
+side).  These hypothesis properties pin that contract for all three.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.hashing import unordered_items_hash
+from repro.core.mapping import FrozenDict
+from repro.core.multiset import Multiset
+from repro.core.store import Store
+
+SCALARS = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=8),
+    st.tuples(st.integers(min_value=0, max_value=9), st.text(max_size=3)),
+)
+
+ITEMS = st.dictionaries(st.text(max_size=6), SCALARS, max_size=8)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ITEMS, st.randoms())
+def test_unordered_items_hash_ignores_order(data, rng):
+    items = list(data.items())
+    shuffled = list(items)
+    rng.shuffle(shuffled)
+    assert unordered_items_hash(items) == unordered_items_hash(shuffled)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ITEMS, st.randoms())
+def test_store_eq_implies_hash_eq(data, rng):
+    items = list(data.items())
+    rng.shuffle(items)
+    a, b = Store(data), Store(dict(items))
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(SCALARS, max_size=8), st.randoms())
+def test_multiset_eq_implies_hash_eq(elements, rng):
+    shuffled = list(elements)
+    rng.shuffle(shuffled)
+    a, b = Multiset(elements), Multiset(shuffled)
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ITEMS, st.randoms())
+def test_frozendict_eq_implies_hash_eq(data, rng):
+    items = list(data.items())
+    rng.shuffle(items)
+    a, b = FrozenDict(data), FrozenDict(dict(items))
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ITEMS)
+def test_containers_share_one_hash_definition(data):
+    # All three containers hash their items through the same helper, so a
+    # drift in any one implementation shows up as a mismatch here.
+    assert hash(Store(data)) == unordered_items_hash(data.items())
+    assert hash(FrozenDict(data)) == unordered_items_hash(data.items())
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(SCALARS, max_size=8))
+def test_multiset_hash_matches_count_items(elements):
+    m = Multiset(elements)
+    assert hash(m) == unordered_items_hash(m.counts())

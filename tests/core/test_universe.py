@@ -12,6 +12,8 @@ from repro.core import (
     pa,
 )
 
+from repro.core.store import memo_key
+
 from ..conftest import make_counter_program
 
 
@@ -109,9 +111,16 @@ class TestContexts:
         context = InstanceContext(lambda name: (name, ()))
         universe = StoreUniverse([Store()], context=context)
         assert not universe.pair_ok(Store(), "A", Store(), "A", Store())
-        # Memoized under the context's cache_key prefix (the constant ()
-        # for state-independent contexts).
-        key = (context.cache_key(Store()), "A", Store(), "A", Store())
+        # Memoized under the dense index of the context's cache_key class
+        # (one class here — the context is state-independent); locals key
+        # by intern id.
+        key = (
+            universe._ck_ids[context.cache_key(Store())],
+            "A",
+            memo_key(Store()),
+            "A",
+            memo_key(Store()),
+        )
         assert key in universe._pair_cache
         assert universe.context_cache_stats.misses == 1
         assert not universe.pair_ok(Store(), "A", Store(), "A", Store())

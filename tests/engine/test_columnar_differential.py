@@ -1,0 +1,186 @@
+"""Differential suite: interned/columnar evaluation vs the dict oracle.
+
+Every Table 1 protocol is checked three times — once under the dict-shaped
+oracle (``columnar_disabled`` + ``interning_disabled``, the representation
+the engine shipped with), once on the default interned/columnar fast path
+serially, and once on the fast path through a real process pool.  The
+three condition maps must be **typed-identical**: same condition keys,
+same :class:`CheckResult` type, same (name, holds, checked,
+counterexamples) field for field.  ``checked`` equality is the strongest
+part of the contract — the columnar loops must enumerate exactly the
+(global, locals, transition) triples the oracle does, in the same order,
+or attribution and counterexample replay silently drift.
+
+The final test pins the representation-independence of the persistent
+result cache: fingerprints hash store *contents*, never intern ids, so a
+cache written by the oracle representation must warm-hit the columnar
+one with **zero** obligations executed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import initial_config
+from repro.core.cache import reset_process_cache
+from repro.core.columnar import columnar_active, columnar_disabled
+from repro.core.context import GhostContext
+from repro.core.refinement import CheckResult
+from repro.core.store import interning_active, interning_disabled
+from repro.core.universe import StoreUniverse
+from repro.engine.scheduler import ProcessPoolScheduler
+from repro.protocols import (
+    broadcast,
+    changroberts,
+    nbuyer,
+    paxos,
+    pingpong,
+    prodcons,
+    twophase,
+)
+from repro.protocols.common import GHOST
+
+from .rcache_cases import count_executions
+
+
+def _first_app(pairs):
+    return pairs[0][1]
+
+
+#: One (application, initial global) per Table 1 protocol.  Broadcast at
+#: n=3 and Paxos at R=2/N=2 dominate wall time (their universes are the
+#: benchmark instances) and run in the slow lane; the other five cover
+#: the representation semantics fast.
+PROTOCOL_CASES = {
+    "broadcast": lambda: (
+        broadcast.make_sequentialization(3),
+        broadcast.initial_global(3),
+    ),
+    "pingpong": lambda: (
+        pingpong.make_sequentialization(3),
+        pingpong.initial_global(3),
+    ),
+    "prodcons": lambda: (
+        prodcons.make_sequentialization(4),
+        prodcons.initial_global(4),
+    ),
+    "nbuyer": lambda: (
+        _first_app(nbuyer.make_sequentializations(3)),
+        nbuyer.initial_global(3),
+    ),
+    "changroberts": lambda: (
+        _first_app(changroberts.make_sequentializations(4)),
+        changroberts.initial_global(4),
+    ),
+    "twophase": lambda: (
+        _first_app(twophase.make_sequentializations(3)),
+        twophase.initial_global(3),
+    ),
+    "paxos": lambda: (
+        paxos.make_sequentialization(2, 2),
+        paxos.initial_global(2, 2),
+    ),
+}
+
+SLOW = {"broadcast", "paxos"}
+
+
+def _universe(app, init_global):
+    return StoreUniverse.from_reachable(
+        app.program, [initial_config(init_global)]
+    ).with_context(GhostContext(GHOST))
+
+
+def _typed_condition_map(result):
+    """Every field the condition map determines, plus the result type —
+    the columnar path must hand back plain :class:`CheckResult`s, not a
+    lookalike."""
+    out = {}
+    for key, r in result.conditions.items():
+        assert type(r) is CheckResult, (key, type(r))
+        out[key] = (r.name, r.holds, r.checked, tuple(r.counterexamples))
+    return out
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    reset_process_cache()
+    yield
+    reset_process_cache()
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        pytest.param(n, marks=pytest.mark.slow) if n in SLOW else n
+        for n in sorted(PROTOCOL_CASES)
+    ],
+)
+def test_columnar_matches_dict_oracle(name):
+    app, init_global = PROTOCOL_CASES[name]()
+
+    # Oracle: the dict-shaped representation end to end — Store-keyed
+    # memos, per-pair combine, no columns.  Its universe is built inside
+    # the switch so even reachability exploration keys the old way.
+    with interning_disabled(), columnar_disabled():
+        assert not interning_active() and not columnar_active()
+        oracle = app.check(_universe(app, init_global), jobs=1)
+
+    reset_process_cache()
+
+    # Fast path, serial: interned stores + columnar batch evaluation.
+    universe = _universe(app, init_global)
+    assert columnar_active()
+    serial = app.check(universe, jobs=1)
+
+    assert _typed_condition_map(serial) == _typed_condition_map(oracle)
+    assert serial.holds == oracle.holds
+    assert serial.total_checked == oracle.total_checked
+
+    # Fast path through a real pool: shards ship intern ids, workers
+    # rebuild columns, the merged map must still be identical.  clamp=False
+    # keeps both workers real even on a single-CPU host.
+    reset_process_cache()
+    pooled = app.check(
+        _universe(app, init_global),
+        scheduler=ProcessPoolScheduler(2, clamp=False),
+    )
+    assert _typed_condition_map(pooled) == _typed_condition_map(oracle)
+    assert pooled.total_checked == oracle.total_checked
+
+
+def test_oracle_cold_cache_warm_hits_columnar(tmp_path):
+    """Result-cache fingerprints are content-addressed: a cache populated
+    under the dict oracle must serve the columnar run with zero
+    obligations executed (and byte-identical verdicts)."""
+    app, init_global = PROTOCOL_CASES["pingpong"]()
+
+    with interning_disabled(), columnar_disabled():
+        cold = app.check(_universe(app, init_global), jobs=1, cache=tmp_path)
+    assert cold.holds
+
+    reset_process_cache()
+    with count_executions() as executed:
+        warm = app.check(
+            _universe(app, init_global), jobs=1, cache=tmp_path
+        )
+    assert not executed, f"warm re-verify executed {sorted(executed)}"
+    assert _typed_condition_map(warm) == _typed_condition_map(cold)
+
+
+def test_columnar_cold_cache_warm_hits_oracle(tmp_path):
+    """The reverse direction: intern ids never leak into fingerprints, so
+    an oracle re-verify warm-hits a columnar-written cache too."""
+    app, init_global = PROTOCOL_CASES["pingpong"]()
+
+    cold = app.check(_universe(app, init_global), jobs=1, cache=tmp_path)
+    assert cold.holds
+
+    reset_process_cache()
+    with count_executions() as executed:
+        with interning_disabled(), columnar_disabled():
+            warm = app.check(
+                _universe(app, init_global), jobs=1, cache=tmp_path
+            )
+    assert not executed, f"warm re-verify executed {sorted(executed)}"
+    assert _typed_condition_map(warm) == _typed_condition_map(cold)

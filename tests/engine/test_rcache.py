@@ -51,7 +51,11 @@ def test_digest_is_deterministic_and_value_sensitive():
     assert stable_digest(42) == stable_digest(42)
     assert stable_digest(42) != stable_digest(43)
     assert stable_digest("42") != stable_digest(42)
-    assert stable_digest(True) != stable_digest(1)
+    # True == 1 and False == 0 as container keys, so equal values must
+    # digest equal — otherwise which spelling survives a dict/multiset
+    # key collapse (insertion order) would leak into the fingerprint.
+    assert stable_digest(True) == stable_digest(1)
+    assert stable_digest(False) == stable_digest(0)
     assert stable_digest(None) != stable_digest(0)
 
 

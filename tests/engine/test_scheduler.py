@@ -27,6 +27,7 @@ from repro.engine.obligations import (
 from repro.engine.scheduler import (
     ProcessPoolScheduler,
     SerialScheduler,
+    _available_cpus,
     _fork_available,
     make_scheduler,
 )
@@ -89,7 +90,7 @@ def test_backends_skip_identical_sets(monkeypatch):
 
 
 def test_jobs_beyond_cpu_count_warn_and_clamp():
-    cpus = os.cpu_count() or 1
+    cpus = _available_cpus()
     with pytest.warns(RuntimeWarning, match="clamping"):
         scheduler = ProcessPoolScheduler(cpus + 7)
     assert scheduler.requested_jobs == cpus + 7
@@ -97,9 +98,30 @@ def test_jobs_beyond_cpu_count_warn_and_clamp():
 
 
 def test_clamp_false_keeps_requested_jobs():
-    cpus = os.cpu_count() or 1
+    cpus = _available_cpus()
     scheduler = ProcessPoolScheduler(cpus + 7, clamp=False)
     assert scheduler.jobs == cpus + 7
+
+
+def test_clamp_uses_affinity_mask_not_host_cores(monkeypatch):
+    """The clamp must follow the CPUs this process may run on, not the
+    host's core count: under a 2-CPU affinity mask on a 64-core host,
+    jobs=8 schedules 2 workers, deterministically."""
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 1}, raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 64)
+    assert _available_cpus() == 2
+    with pytest.warns(RuntimeWarning, match="affinity"):
+        scheduler = ProcessPoolScheduler(8)
+    assert scheduler.jobs == 2
+
+
+def test_available_cpus_falls_back_to_cpu_count(monkeypatch):
+    def _raises(pid):
+        raise OSError("no affinity on this platform")
+
+    monkeypatch.setattr(os, "sched_getaffinity", _raises, raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 6)
+    assert _available_cpus() == 6
 
 
 def test_jobs_within_cpu_count_do_not_warn():
