@@ -47,6 +47,18 @@ Resilience flags (``verify`` and ``table1``)
     machine-readable failure report (schema ``repro.obs/failure/v1``);
     ``--list`` enumerates the fixtures. Exit code 0 iff every witness was
     replay-confirmed.
+``serve [--host H] [--port P] [--queue-depth N] [--state DIR]
+[--max-configs N] [--jobs N] [--timeout-per-obligation S]
+[--drain-grace S]``
+    Run the warm verification daemon (``repro.serve``): accepts
+    verify/table1/explain jobs over HTTP/JSON on a bounded queue,
+    keeps universes, caches, and the result store resident across
+    requests, streams per-obligation progress as SSE from
+    ``/jobs/<id>/events``, and journals job state under ``--state DIR``
+    so a restart resumes in-flight runs. Host, port, and queue depth
+    default from ``REPRO_SERVE_HOST`` / ``REPRO_SERVE_PORT`` /
+    ``REPRO_SERVE_QUEUE_DEPTH``. SIGTERM drains: in-flight work is
+    salvaged to the journals before exit.
 ``list``
     List the available protocols with their Table 1 #IS counts.
 """
@@ -329,6 +341,27 @@ def _cmd_explain(args) -> int:
     return 0 if explanation.all_confirmed else 1
 
 
+def _cmd_serve(args) -> int:
+    from .serve import ServeConfig
+    from .serve.daemon import run_daemon
+
+    try:
+        config = ServeConfig.from_env(
+            host=args.host,
+            port=args.port,
+            queue_depth=args.queue_depth,
+            state_dir=args.state,
+            max_configs=args.max_configs,
+            jobs=args.jobs,
+            timeout_per_obligation=args.timeout_per_obligation,
+            drain_grace=args.drain_grace,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return run_daemon(config)
+
+
 def _cmd_list(_args) -> int:
     from .protocols import ALL_PROTOCOLS
 
@@ -463,6 +496,67 @@ def main(argv=None) -> int:
         action="store_true",
         help="list the available fixtures",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="run the warm verification daemon (HTTP/JSON job queue)",
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="bind address (default: $REPRO_SERVE_HOST or 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port; 0 picks a free one, announced on stdout "
+        "(default: $REPRO_SERVE_PORT or 7717)",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bounded admission queue; a full queue refuses with 429 + "
+        "Retry-After (default: $REPRO_SERVE_QUEUE_DEPTH or 16)",
+    )
+    serve.add_argument(
+        "--state",
+        metavar="DIR",
+        default=None,
+        help="root for persistent state: job journal, per-job checkpoint "
+        "journals, and the obligation result cache (default: in-memory)",
+    )
+    serve.add_argument(
+        "--max-configs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="operator ceiling on per-job exploration budgets (jobs "
+        "asking for more are clamped)",
+    )
+    serve.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help="default worker processes for obligation discharge",
+    )
+    serve.add_argument(
+        "--timeout-per-obligation",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock deadline per obligation attempt for every job",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=None,
+        metavar="S",
+        help="seconds SIGTERM waits for the in-flight job to salvage "
+        "itself before exiting (default: 5)",
+    )
     sub.add_parser("list", help="list protocols")
     args = parser.parse_args(argv)
     if args.command in ("table1", "verify"):
@@ -473,6 +567,7 @@ def main(argv=None) -> int:
             "table1": _cmd_table1,
             "verify": _cmd_verify,
             "explain": _cmd_explain,
+            "serve": _cmd_serve,
             "list": _cmd_list,
         }[args.command](args)
     except KeyboardInterrupt:

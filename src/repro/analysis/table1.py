@@ -70,8 +70,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Broadcast consensus",
         broadcast,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: broadcast.verify(
-            n=3, iterated=True, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: broadcast.verify(
+            n=3, iterated=True, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
         ),
         (
             broadcast.make_invariant,
@@ -87,8 +87,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Ping-Pong",
         pingpong,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: pingpong.verify(
-            rounds=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: pingpong.verify(
+            rounds=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
         ),
         (
             pingpong.make_abstractions,
@@ -101,8 +101,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Producer-Consumer",
         prodcons,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: prodcons.verify(
-            bound=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: prodcons.verify(
+            bound=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
         ),
         (
             prodcons.make_consumer_abs,
@@ -115,8 +115,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "N-Buyer",
         nbuyer,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: nbuyer.verify(
-            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: nbuyer.verify(
+            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
         ),
         (nbuyer.make_measure, nbuyer.make_sequentializations),
         (nbuyer.make_atomic, nbuyer.initial_global),
@@ -124,8 +124,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Chang-Roberts",
         changroberts,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: changroberts.verify(
-            n=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: changroberts.verify(
+            n=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
         ),
         (
             changroberts.make_handle_abs,
@@ -140,8 +140,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Two-phase commit",
         twophase,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: twophase.verify(
-            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: twophase.verify(
+            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
         ),
         (twophase.make_measure, twophase.make_sequentializations),
         (twophase.make_atomic, twophase.initial_global),
@@ -149,8 +149,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Paxos",
         paxos,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None: paxos.verify(
-            rounds=2, num_nodes=2, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: paxos.verify(
+            rounds=2, num_nodes=2, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
         ),
         (
             paxos.make_abstractions,
@@ -171,6 +171,7 @@ def build_table1(
     tracer=None,
     resilience=None,
     cache=None,
+    warm=None,
 ) -> List[Table1Row]:
     """Run every example's full pipeline and assemble the table.
 
@@ -197,11 +198,13 @@ def build_table1(
     """
     from ..engine.rcache import ObligationCache
 
+    if warm is not None and cache is None:
+        cache = warm.rcache
     cache = ObligationCache.ensure(cache)
     rows: List[Table1Row] = []
     for entry in entries if entries is not None else TABLE1_REGISTRY:
         report = entry.verify(
-            max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache
+            max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
         )
         rows.append(
             Table1Row(

@@ -22,11 +22,14 @@ from .export import (
     write_failure_report,
     write_metrics,
 )
+from .stream import StreamingTracer, sse_event
 from .tracer import Span, Tracer
 
 __all__ = [
     "Span",
+    "StreamingTracer",
     "Tracer",
+    "sse_event",
     "chrome_trace",
     "failure_payload",
     "metrics_payload",

@@ -1,0 +1,79 @@
+"""Streaming span export: the bridge from the tracer to server-sent events.
+
+The exporters in :mod:`repro.obs.export` run *after* a pipeline finishes;
+a verification daemon needs the opposite — progress while the job runs.
+:class:`StreamingTracer` is a :class:`~repro.obs.tracer.Tracer` that
+additionally hands every recorded span to a ``publish`` callable the
+moment it is added. The no-perturbation guarantee is untouched: spans are
+still derived from outcomes the engine computes anyway, the subclass only
+*forwards* them; a publisher that raises is detached (never propagated
+into the engine), so a slow or dead SSE client cannot fail a
+verification.
+
+Granularity: the engine materializes obligation spans when each
+``discharge()`` (one IS application) merges, and phase spans as each
+pipeline stage closes — so a streaming consumer sees per-obligation
+events in stage-sized bursts plus live phase boundaries, not a
+per-obligation live tick. That is the honest granularity of a tracer
+that cannot perturb scheduling.
+
+:func:`sse_event` formats one event in the ``text/event-stream`` wire
+format (https://html.spec.whatwg.org/multipage/server-sent-events.html):
+an ``event:`` line, one ``data:`` line per payload line, a blank
+terminator. ``id:`` carries a monotonically increasing sequence number so
+clients can detect gaps after a reconnect.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional
+
+from .tracer import Span, Tracer
+
+__all__ = ["StreamingTracer", "sse_event"]
+
+
+def sse_event(event: str, data: dict, event_id: Optional[int] = None) -> bytes:
+    """One server-sent event, wire-formatted.
+
+    ``data`` is JSON-encoded onto a single ``data:`` line (JSON never
+    contains raw newlines), so the event is exactly
+    ``[id:N] event:NAME data:JSON`` followed by the blank terminator.
+    """
+    lines = []
+    if event_id is not None:
+        lines.append(f"id: {event_id}")
+    lines.append(f"event: {event}")
+    lines.append(f"data: {json.dumps(data)}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+class StreamingTracer(Tracer):
+    """A tracer that forwards every span to a publisher as it lands.
+
+    ``publish`` receives one JSON-ready dict per span: the span's
+    :meth:`~repro.obs.tracer.Span.as_dict` rendering plus the scope it
+    was recorded under and its index in the tracer's span list (a stable
+    per-job sequence number). All the base-class views — exporters,
+    consistency checks — keep working on the accumulated spans, so a
+    daemon job can both stream progress *and* serve the full trace
+    afterwards.
+    """
+
+    def __init__(self, publish: Callable[[dict], None]):
+        super().__init__()
+        self._publish: Optional[Callable[[dict], None]] = publish
+
+    def add(self, span: Span) -> Span:
+        span = super().add(span)
+        if self._publish is not None:
+            record = span.as_dict()
+            record["seq"] = len(self.spans) - 1
+            try:
+                self._publish(record)
+            except Exception:
+                # A broken consumer must never fail the engine; stop
+                # publishing, keep recording.
+                self._publish = None
+        return span

@@ -481,6 +481,7 @@ def verify(
     tracer=None,
     resilience=None,
     cache=None,
+    warm=None,
 ) -> ProtocolReport:
     """Full pipeline: IS condition checks, sequential spec on the
     transformed program, and (optionally) the ground-truth refinement
@@ -492,19 +493,32 @@ def verify(
     from ..engine.rcache import ObligationCache
     from .common import BudgetHit, ExplorationBudgetExceeded
 
+    if warm is not None and cache is None:
+        cache = warm.rcache
     cache = ObligationCache.ensure(cache)
     values = tuple(values if values is not None else default_values(n))
     report = ProtocolReport(
         "broadcast-consensus", {"n": n, "values": values, "iterated": iterated}
     )
+    instance_key = (
+        "broadcast-consensus",
+        repr((n, values, iterated)),
+        max_configs,
+    )
     original = make_atomic(n)
 
-    if iterated:
-        applications = make_iterated_sequentializations(n)
-        labels = ["Broadcast", "Collect"]
+    def build_applications():
+        if iterated:
+            return make_iterated_sequentializations(n)
+        return [make_sequentialization(n)]
+
+    if warm is not None:
+        applications = warm.pipeline(("apps",) + instance_key, build_applications)
     else:
-        applications = [make_sequentialization(n)]
-        labels = ["Broadcast+Collect"]
+        applications = build_applications()
+    labels = (
+        ["Broadcast", "Collect"] if iterated else ["Broadcast+Collect"]
+    )
 
     final_program = original
     with (
@@ -515,9 +529,22 @@ def verify(
         for label, application in zip(labels, applications):
             try:
                 with timed(report, f"IS[{label}]", tracer=tracer):
-                    universe = make_universe(
-                        application.program, n, values, max_configs=max_configs
-                    )
+
+                    def build_universe(application=application):
+                        return make_universe(
+                            application.program,
+                            n,
+                            values,
+                            max_configs=max_configs,
+                        )
+
+                    if warm is not None:
+                        universe = warm.universe(
+                            ("universe", label) + instance_key,
+                            build_universe,
+                        )
+                    else:
+                        universe = build_universe()
                     with (
                         tracer.scope(f"IS[{label}]")
                         if tracer is not None
@@ -547,17 +574,28 @@ def verify(
 
         try:
             with timed(report, "sequential spec", tracer=tracer):
-                summary = instance_summary(
-                    final_program, initial_global(n, values), max_configs=max_configs
-                )
-                report.spec_ok = (
-                    (not summary.can_fail)
-                    and bool(summary.final_globals)
-                    and all(
-                        spec_holds(final, n, values)
-                        for final in summary.final_globals
+
+                def compute_spec(final_program=final_program):
+                    summary = instance_summary(
+                        final_program,
+                        initial_global(n, values),
+                        max_configs=max_configs,
                     )
-                )
+                    return (
+                        (not summary.can_fail)
+                        and bool(summary.final_globals)
+                        and all(
+                            spec_holds(final, n, values)
+                            for final in summary.final_globals
+                        )
+                    )
+
+                if warm is not None:
+                    report.spec_ok = warm.stage(
+                        ("spec",) + instance_key, compute_spec
+                    )
+                else:
+                    report.spec_ok = compute_spec()
         except ExplorationBudgetExceeded as exc:
             report.budget = BudgetHit("sequential spec", exc.explored, exc.limit)
             return report
@@ -568,13 +606,23 @@ def verify(
         if ground_truth:
             try:
                 with timed(report, "ground truth", tracer=tracer):
-                    report.ground_truth = check_program_refinement(
-                        original,
-                        final_program,
-                        [(initial_global(n, values), EMPTY_STORE)],
-                        max_configs=max_configs,
-                        name="P2 ≼ P' (exhaustive)",
-                    )
+
+                    def compute_ground_truth(final_program=final_program):
+                        return check_program_refinement(
+                            original,
+                            final_program,
+                            [(initial_global(n, values), EMPTY_STORE)],
+                            max_configs=max_configs,
+                            name="P2 ≼ P' (exhaustive)",
+                        )
+
+                    if warm is not None:
+                        report.ground_truth = warm.stage(
+                            ("ground-truth",) + instance_key,
+                            compute_ground_truth,
+                        )
+                    else:
+                        report.ground_truth = compute_ground_truth()
             except ExplorationBudgetExceeded as exc:
                 report.budget = BudgetHit("ground truth", exc.explored, exc.limit)
             except KeyboardInterrupt:

@@ -378,6 +378,7 @@ def verify(
     tracer=None,
     resilience=None,
     cache=None,
+    warm=None,
 ) -> ProtocolReport:
     """Full pipeline for Chang-Roberts."""
     applications = make_sequentializations(n)
@@ -395,4 +396,5 @@ def verify(
         tracer=tracer,
         resilience=resilience,
         cache=cache,
+        warm=warm,
     )

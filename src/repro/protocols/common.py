@@ -270,6 +270,7 @@ def verify_protocol(
     tracer=None,
     resilience=None,
     cache=None,
+    warm=None,
 ) -> ProtocolReport:
     """Generic protocol pipeline: check each IS application over the
     reachable universe (under the ghost PA context), then the sequential
@@ -301,6 +302,17 @@ def verify_protocol(
     from the store instead of executed (``ISResult.cached_keys``), and
     fresh results are stored back. One cache instance is shared across
     the pipeline's applications.
+
+    ``warm`` (a :class:`~repro.engine.warm.WarmState`) marks this run as
+    one request against a resident daemon: the per-run process-cache
+    reset is skipped (interner/evaluation/columnar memos stay hot), the
+    store universes and IS applications are reused from — and stored
+    into — the warm maps keyed by the full instance identity, the
+    sequential-spec and ground-truth stages are memoized per instance,
+    and ``warm.rcache`` supplies the result cache unless ``cache`` is
+    given explicitly. Verdicts are warm/cold-identical (see
+    ``repro.engine.warm`` for the soundness argument and
+    ``tests/serve/test_warm.py`` for the proof-by-test).
     """
     from ..core.cache import reset_process_cache
     from ..core.context import GhostContext
@@ -315,20 +327,41 @@ def verify_protocol(
     # intern table, the evaluation memos, and the columnar tables all grow
     # monotonically during a run, and letting them persist across runs
     # accumulated the previous protocols' stores forever (the historical
-    # module-level ``combine`` lru_cache had exactly this leak).
-    reset_process_cache()
+    # module-level ``combine`` lru_cache had exactly this leak). A warm
+    # (daemon) run deliberately keeps them: the tables are
+    # content-addressed and the daemon's request mix revisits the same
+    # instances, so residency is a bounded win, not a leak.
+    if warm is None:
+        reset_process_cache()
+    elif cache is None:
+        cache = warm.rcache
     cache = ObligationCache.ensure(cache)
     report = ProtocolReport(name, dict(parameters))
+    instance_key = (name, repr(sorted(parameters.items())), max_configs)
+    if warm is not None:
+        applications = warm.pipeline(
+            ("apps",) + instance_key, lambda: list(applications)
+        )
     final_program = original
     with tracer.scope(name) if tracer is not None else nullcontext():
         for label, application in applications:
             try:
                 with timed(report, f"IS[{label}]", tracer=tracer):
-                    universe = StoreUniverse.from_reachable(
-                        application.program,
-                        [initial_config(initial_global)],
-                        max_configs=max_configs,
-                    ).with_context(GhostContext(GHOST))
+
+                    def build_universe(application=application):
+                        return StoreUniverse.from_reachable(
+                            application.program,
+                            [initial_config(initial_global)],
+                            max_configs=max_configs,
+                        ).with_context(GhostContext(GHOST))
+
+                    if warm is not None:
+                        universe = warm.universe(
+                            ("universe", label) + instance_key,
+                            build_universe,
+                        )
+                    else:
+                        universe = build_universe()
                     with (
                         tracer.scope(f"IS[{label}]")
                         if tracer is not None
@@ -358,14 +391,25 @@ def verify_protocol(
 
         try:
             with timed(report, "sequential spec", tracer=tracer):
-                summary = instance_summary(
-                    final_program, initial_global, max_configs=max_configs
-                )
-                report.spec_ok = (
-                    not summary.can_fail
-                    and bool(summary.final_globals)
-                    and all(spec_fn(final) for final in summary.final_globals)
-                )
+
+                def compute_spec(final_program=final_program):
+                    summary = instance_summary(
+                        final_program, initial_global, max_configs=max_configs
+                    )
+                    return (
+                        not summary.can_fail
+                        and bool(summary.final_globals)
+                        and all(
+                            spec_fn(final) for final in summary.final_globals
+                        )
+                    )
+
+                if warm is not None:
+                    report.spec_ok = warm.stage(
+                        ("spec",) + instance_key, compute_spec
+                    )
+                else:
+                    report.spec_ok = compute_spec()
         except ExplorationBudgetExceeded as exc:
             report.budget = BudgetHit("sequential spec", exc.explored, exc.limit)
             return report
@@ -376,13 +420,23 @@ def verify_protocol(
         if ground_truth:
             try:
                 with timed(report, "ground truth", tracer=tracer):
-                    report.ground_truth = check_program_refinement(
-                        original,
-                        final_program,
-                        [(initial_global, EMPTY_STORE)],
-                        max_configs=max_configs,
-                        name="P ≼ P' (exhaustive)",
-                    )
+
+                    def compute_ground_truth(final_program=final_program):
+                        return check_program_refinement(
+                            original,
+                            final_program,
+                            [(initial_global, EMPTY_STORE)],
+                            max_configs=max_configs,
+                            name="P ≼ P' (exhaustive)",
+                        )
+
+                    if warm is not None:
+                        report.ground_truth = warm.stage(
+                            ("ground-truth",) + instance_key,
+                            compute_ground_truth,
+                        )
+                    else:
+                        report.ground_truth = compute_ground_truth()
             except ExplorationBudgetExceeded as exc:
                 report.budget = BudgetHit("ground truth", exc.explored, exc.limit)
             except KeyboardInterrupt:

@@ -402,6 +402,7 @@ def verify(
     tracer=None,
     resilience=None,
     cache=None,
+    warm=None,
 ) -> ProtocolReport:
     """Full pipeline for N-Buyer."""
     applications = make_sequentializations(n, prices, contributions)
@@ -419,4 +420,5 @@ def verify(
         tracer=tracer,
         resilience=resilience,
         cache=cache,
+        warm=warm,
     )

@@ -682,6 +682,7 @@ def verify(
     tracer=None,
     resilience=None,
     cache=None,
+    warm=None,
 ) -> ProtocolReport:
     """Full pipeline for Paxos.
 
@@ -703,4 +704,5 @@ def verify(
         tracer=tracer,
         resilience=resilience,
         cache=cache,
+        warm=warm,
     )

@@ -319,6 +319,7 @@ def verify(
     tracer=None,
     resilience=None,
     cache=None,
+    warm=None,
 ) -> ProtocolReport:
     """Full pipeline for Ping-Pong."""
     application = make_sequentialization(rounds)
@@ -336,4 +337,5 @@ def verify(
         tracer=tracer,
         resilience=resilience,
         cache=cache,
+        warm=warm,
     )

@@ -476,6 +476,7 @@ def verify(
     tracer=None,
     resilience=None,
     cache=None,
+    warm=None,
 ) -> ProtocolReport:
     """Full pipeline for two-phase commit."""
     applications = make_sequentializations(n)
@@ -493,4 +494,5 @@ def verify(
         tracer=tracer,
         resilience=resilience,
         cache=cache,
+        warm=warm,
     )

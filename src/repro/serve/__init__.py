@@ -1,0 +1,32 @@
+"""Verification-as-a-service: the ``repro serve`` daemon.
+
+One-shot ``repro verify`` pays cold start on every invocation — process
+launch, imports, universe construction, interner/evaluation-cache
+warm-up, result-cache open. This package keeps all of it resident: a
+long-running ``asyncio`` daemon (stdlib only — no new dependencies)
+accepts verify / table1 / explain jobs over HTTP/JSON, admits them
+through a bounded queue with per-job budgets and backpressure (429 +
+``Retry-After`` when full), discharges them one at a time on the
+existing scheduler + resilience stack, and streams per-obligation
+progress from the :mod:`repro.obs` tracer as server-sent events.
+
+Module map
+----------
+``config``  ``ServeConfig`` — flags + ``REPRO_SERVE_*`` environment.
+``jobs``    job model, bounded queue semantics, and the schema-versioned
+            fingerprint-guarded job journal that makes a daemon restart
+            resume in-flight runs.
+``http``    minimal asyncio HTTP/1.1 server with SSE responses.
+``daemon``  ``ServeDaemon`` — wiring: endpoints, the single worker,
+            warm state (``repro.engine.warm``), signal-driven drain.
+
+See README ("Serving"), DESIGN ("Verification as a service") and
+EXPERIMENTS ("Warm vs cold under load") for usage and the soundness
+argument for cross-request state reuse.
+"""
+
+from .config import ServeConfig
+from .daemon import ServeDaemon
+from .jobs import Job, JobRequest, JobStore
+
+__all__ = ["Job", "JobRequest", "JobStore", "ServeConfig", "ServeDaemon"]

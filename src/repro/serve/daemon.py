@@ -1,0 +1,727 @@
+"""The warm verification daemon behind ``repro serve``.
+
+One process, one event loop, one worker. The asyncio side owns
+admission — parse, validate, clamp budgets, enqueue or refuse with
+``429`` — and stays responsive while a verification runs, because every
+job executes on a single dedicated worker *thread* (``daemon=True``, so
+a wedged job can never hold the process hostage past the drain grace).
+Serializing jobs is not a limitation but the design: the engine's
+process-level caches (interner, evaluation memos, columnar tables) and
+the :class:`~repro.engine.warm.WarmState` memo maps are
+single-threaded structures, and one-at-a-time execution is exactly what
+keeps them coherent *and* hot.
+
+Progress streams out live: the worker attaches a
+:class:`~repro.obs.stream.StreamingTracer` whose publish callback hops
+spans back onto the loop (``call_soon_threadsafe``) into a per-job
+:class:`EventChannel` — buffered for late subscribers, fanned out as
+SSE to current ones.
+
+Shutdown is a protocol, not an ``exit()``: SIGTERM (or SIGINT) stops
+admission (``503``), raises ``KeyboardInterrupt`` *inside* the worker
+thread via ``PyThreadState_SetAsyncExc`` so the engine's salvage path
+journals what it finished, waits at most ``drain_grace`` seconds, and
+records ``interrupted`` for whatever remains. On the next start the job
+journal's unfinished backlog is re-enqueued, and each job's engine
+checkpoint journal (named by the request fingerprint) turns the re-run
+into a resume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import ctypes
+import inspect
+import math
+import signal
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..engine.warm import WarmState
+from ..obs.stream import StreamingTracer, sse_event
+from .config import ServeConfig
+from .http import (
+    EventStreamResponse,
+    HttpError,
+    Request,
+    Router,
+    json_response,
+)
+from .jobs import Job, JobRequest, JobStore, StaleJobStoreError
+
+__all__ = ["EventChannel", "ServeDaemon"]
+
+HEALTH_SCHEMA = "repro.serve/healthz/v1"
+
+#: Fallback per-job duration estimate (seconds) before the EWMA has any
+#: samples — only used to size the 429 Retry-After hint.
+INITIAL_JOB_ESTIMATE = 2.0
+EWMA_ALPHA = 0.3
+
+#: Terminal job states; everything else is restart backlog.
+FINISHED_STATES = ("done", "failed")
+
+
+class EventChannel:
+    """Per-job event fan-out: a replay buffer plus live subscribers.
+
+    ``publish`` is loop-affine (the worker thread hops here via
+    ``call_soon_threadsafe``); subscribers each get an unbounded queue —
+    progress events are small and bounded by the obligation count, and a
+    slow SSE consumer must never stall the worker.
+    """
+
+    def __init__(self) -> None:
+        self.frames: List[bytes] = []
+        self.closed = False
+        self._subscribers: List[asyncio.Queue] = []
+
+    def publish(self, event: str, payload: dict) -> None:
+        frame = sse_event(event, payload, event_id=len(self.frames))
+        self.frames.append(frame)
+        for queue in self._subscribers:
+            queue.put_nowait(frame)
+
+    def close(self) -> None:
+        self.closed = True
+        for queue in self._subscribers:
+            queue.put_nowait(None)
+        self._subscribers = []
+
+    async def stream(self):
+        """Replay everything buffered, then follow live until closed."""
+        queue: Optional[asyncio.Queue] = None
+        if not self.closed:
+            queue = asyncio.Queue()
+            self._subscribers.append(queue)
+        for frame in list(self.frames):
+            yield frame
+        if queue is None:
+            return
+        try:
+            while True:
+                frame = await queue.get()
+                if frame is None:
+                    return
+                yield frame
+        finally:
+            if queue in self._subscribers:
+                self._subscribers.remove(queue)
+
+
+@dataclass
+class _ActiveJob:
+    """The in-flight job: what the drain path needs to interrupt it."""
+
+    job: Job
+    thread: threading.Thread
+    done: asyncio.Future
+    outcome: dict = field(default_factory=dict)
+
+
+class ServeDaemon:
+    """The resident verification service (see the module docstring)."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.state_dir = Path(config.state_dir) if config.state_dir else None
+        rcache = None
+        if self.state_dir is not None:
+            from ..engine.rcache import ObligationCache
+
+            rcache = ObligationCache(self.state_dir / "rcache")
+        self.warm = WarmState(rcache=rcache)
+        self.jobs: Dict[str, Job] = {}
+        self.order: List[str] = []
+        self.channels: Dict[str, EventChannel] = {}
+        self.store: Optional[JobStore] = None
+        self.bound_port: Optional[int] = None
+        self.ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._draining = False
+        self._stop = None
+        self._active: Optional[_ActiveJob] = None
+        self._seq = 0
+        self._ewma = INITIAL_JOB_ESTIMATE
+        self._started_at = time.time()
+        self.router = self._build_router()
+
+    # -------------------------------------------------------------- #
+    # Lifecycle
+    # -------------------------------------------------------------- #
+
+    async def run(self) -> None:
+        """Serve until a drain request, then shut down cleanly."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.queue_depth)
+        self._stop = asyncio.Event()
+        self._open_store()
+        for backlog in self._restart_backlog():
+            self._queue.put_nowait(backlog)
+        server = await asyncio.start_server(
+            self.router.handle_connection, self.config.host, self.config.port
+        )
+        self.bound_port = server.sockets[0].getsockname()[1]
+        self._install_signal_handlers()
+        worker = asyncio.ensure_future(self._worker())
+        state = str(self.state_dir) if self.state_dir else "in-memory"
+        print(
+            f"repro-serve: listening on http://{self.config.host}:"
+            f"{self.bound_port} (queue depth {self.config.queue_depth}, "
+            f"state {state})",
+            flush=True,
+        )
+        self.ready.set()
+        try:
+            await self._stop.wait()
+        finally:
+            self._draining = True
+            server.close()
+            await server.wait_closed()
+            await self._drain(worker)
+            if self.store is not None:
+                self.store.close()
+            print("repro-serve: drained, exiting", flush=True)
+
+    def request_shutdown(self) -> None:
+        """Begin the drain; safe to call from any thread or a signal."""
+        loop = self._loop
+        if loop is None or self._stop is None:
+            return
+
+        def begin() -> None:
+            if not self._draining:
+                self._draining = True
+                self._stop.set()
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is loop:
+            begin()
+        else:
+            loop.call_soon_threadsafe(begin)
+
+    def _install_signal_handlers(self) -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Not the main thread (tests run the daemon embedded) or
+                # no loop-level signal support: the embedding caller owns
+                # shutdown via request_shutdown().
+                return
+
+    async def _drain(self, worker: asyncio.Future) -> None:
+        active = self._active
+        if active is not None and active.thread.is_alive():
+            self._interrupt_active()
+            try:
+                await asyncio.wait_for(
+                    asyncio.shield(active.done), self.config.drain_grace
+                )
+            except asyncio.TimeoutError:
+                # The job ignored the interrupt (e.g. stuck in a C-level
+                # sleep); it dies with the daemon thread. Journal the
+                # fact so restart re-enqueues it.
+                self._mark_interrupted(active.job)
+        worker.cancel()
+        try:
+            await worker
+        except asyncio.CancelledError:
+            pass
+        # Jobs still queued stay 'submitted'-only in the journal — that
+        # is already the restart backlog; close their channels so SSE
+        # followers terminate.
+        for channel in self.channels.values():
+            if not channel.closed:
+                channel.close()
+
+    def _interrupt_active(self) -> None:
+        active = self._active
+        if active is None or not active.thread.is_alive():
+            return
+        tid = active.thread.ident
+        if tid is None:
+            return
+        ctypes.pythonapi.PyThreadState_SetAsyncExc(
+            ctypes.c_ulong(tid), ctypes.py_object(KeyboardInterrupt)
+        )
+
+    def _mark_interrupted(self, job: Job) -> None:
+        job.status = "interrupted"
+        job.finished_at = time.time()
+        if self.store is not None:
+            self.store.record("interrupted", job)
+        channel = self.channels.get(job.id)
+        if channel is not None:
+            channel.publish("status", {"id": job.id, "status": job.status})
+            channel.close()
+
+    # -------------------------------------------------------------- #
+    # Persistence
+    # -------------------------------------------------------------- #
+
+    def _store_path(self) -> Optional[Path]:
+        if self.state_dir is None:
+            return None
+        return self.state_dir / "jobs.jsonl"
+
+    def _open_store(self) -> None:
+        path = self._store_path()
+        if path is None:
+            return
+        restored: List[Job] = []
+        if path.exists():
+            try:
+                restored, _events = JobStore.load(path)
+            except StaleJobStoreError as exc:
+                stale = path.with_suffix(".jsonl.stale")
+                path.replace(stale)
+                print(
+                    f"repro-serve: set aside unreadable job journal "
+                    f"({exc}) as {stale}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                restored = []
+        self.store = JobStore(path)
+        self.store.open()
+        for job in restored:
+            self.jobs[job.id] = job
+            self.order.append(job.id)
+            self.channels[job.id] = channel = EventChannel()
+            if job.status in FINISHED_STATES:
+                channel.publish(
+                    "status", {"id": job.id, "status": job.status}
+                )
+                channel.close()
+        self._seq = len(restored)
+
+    def _restart_backlog(self) -> List[Job]:
+        """Unfinished journaled jobs, re-queued in submit order."""
+        backlog = []
+        for job_id in self.order:
+            job = self.jobs[job_id]
+            if job.status not in FINISHED_STATES:
+                job.status = "queued"
+                backlog.append(job)
+        return backlog
+
+    # -------------------------------------------------------------- #
+    # Routes
+    # -------------------------------------------------------------- #
+
+    def _build_router(self) -> Router:
+        router = Router()
+        router.route("GET", "/healthz")(self._handle_healthz)
+        router.route("GET", "/jobs")(self._handle_jobs_list)
+        router.route("POST", "/jobs")(self._handle_jobs_post)
+        router.route("GET", "/jobs/<job_id>")(self._handle_job_get)
+        router.route("GET", "/jobs/<job_id>/events")(self._handle_job_events)
+        return router
+
+    async def _handle_healthz(self, _request: Request):
+        counts: Dict[str, int] = {}
+        for job in self.jobs.values():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return json_response(
+            {
+                "schema": HEALTH_SCHEMA,
+                "status": "draining" if self._draining else "ok",
+                "uptime_seconds": round(time.time() - self._started_at, 3),
+                "queue": {
+                    "depth": self._queue.qsize() if self._queue else 0,
+                    "capacity": self.config.queue_depth,
+                },
+                "jobs": counts,
+                "warm": self.warm.describe(),
+            }
+        )
+
+    async def _handle_jobs_list(self, _request: Request):
+        return json_response(
+            {"jobs": [self.jobs[job_id].summary() for job_id in self.order]}
+        )
+
+    async def _handle_jobs_post(self, request: Request):
+        if self._draining:
+            raise HttpError(503, "daemon is draining; not accepting jobs")
+        try:
+            job_request = JobRequest.from_payload(request.json())
+            self._validate_target(job_request)
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+        if self._queue.full():
+            backlog = self._queue.qsize() + (1 if self._active else 0)
+            retry_after = max(1, math.ceil(self._ewma * backlog))
+            raise HttpError(
+                429,
+                f"queue full ({self.config.queue_depth} jobs); retry later",
+                headers={"Retry-After": str(retry_after)},
+            )
+        self._seq += 1
+        job = Job(
+            id=f"job-{self._seq:04d}-{job_request.fingerprint[:8]}",
+            request=job_request,
+        )
+        self.jobs[job.id] = job
+        self.order.append(job.id)
+        self.channels[job.id] = EventChannel()
+        if self.store is not None:
+            self.store.record("submitted", job)
+        self._queue.put_nowait(job)
+        return json_response(
+            {
+                "job": job.summary(),
+                "status_url": f"/jobs/{job.id}",
+                "events_url": f"/jobs/{job.id}/events",
+            },
+            status=202,
+        )
+
+    def _validate_target(self, request: JobRequest) -> None:
+        """Reject unknown protocols/fixtures/parameters at admission, so
+        the worker thread never sees an unservable job."""
+        if request.kind == "verify":
+            from ..protocols import ALL_PROTOCOLS
+
+            module = ALL_PROTOCOLS.get(request.protocol)
+            if module is None:
+                raise ValueError(
+                    f"unknown protocol {request.protocol!r}; try: "
+                    f"{', '.join(sorted(ALL_PROTOCOLS))}"
+                )
+            accepted = set(inspect.signature(module.verify).parameters)
+            reserved = {
+                "max_configs", "jobs", "fail_fast", "tracer",
+                "resilience", "cache", "warm", "ground_truth",
+            }
+            bad = sorted(
+                name
+                for name, _ in request.params
+                if name not in accepted or name in reserved
+            )
+            if bad:
+                raise ValueError(
+                    f"unknown params for {request.protocol}: "
+                    f"{', '.join(bad)} (budgets and ground_truth are "
+                    f"top-level fields, not params)"
+                )
+        elif request.kind == "explain":
+            from ..diagnose import FIXTURES
+
+            if request.fixture not in FIXTURES:
+                raise ValueError(
+                    f"unknown fixture {request.fixture!r}; try: "
+                    f"{', '.join(sorted(FIXTURES))}"
+                )
+            if request.params:
+                raise ValueError("explain jobs take no 'params'")
+        elif request.params:
+            raise ValueError("table1 jobs take no 'params'")
+
+    async def _handle_job_get(self, _request: Request, job_id: str):
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise HttpError(404, f"no such job: {job_id}")
+        return json_response(job.detail())
+
+    async def _handle_job_events(self, _request: Request, job_id: str):
+        channel = self.channels.get(job_id)
+        if channel is None:
+            raise HttpError(404, f"no such job: {job_id}")
+        return EventStreamResponse(events=channel.stream())
+
+    # -------------------------------------------------------------- #
+    # Worker
+    # -------------------------------------------------------------- #
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self._queue.get()
+            await self._run_job(job)
+
+    async def _run_job(self, job: Job) -> None:
+        channel = self.channels[job.id]
+        job.status = "running"
+        job.started_at = time.time()
+        job.attempts += 1
+        if self.store is not None:
+            self.store.record("started", job)
+        channel.publish(
+            "status",
+            {"id": job.id, "status": "running", "attempts": job.attempts},
+        )
+        loop = self._loop
+        done = loop.create_future()
+        active = _ActiveJob(job=job, thread=None, done=done)
+
+        def publish_span(record: dict) -> None:
+            loop.call_soon_threadsafe(channel.publish, "span", record)
+
+        def work() -> None:
+            outcome = active.outcome
+            try:
+                outcome["result"] = self._execute(job, publish_span)
+            except KeyboardInterrupt:
+                outcome["interrupted"] = True
+            except Exception as exc:
+                outcome["error"] = f"{type(exc).__name__}: {exc}"
+            finally:
+
+                def finish() -> None:
+                    if not done.done():
+                        done.set_result(None)
+
+                try:
+                    loop.call_soon_threadsafe(finish)
+                except RuntimeError:
+                    # The loop is gone: a hung job outlived the drain
+                    # grace and only woke after shutdown. Its journals
+                    # were already salvaged; nothing to deliver.
+                    pass
+
+        thread = threading.Thread(
+            target=work, name=f"repro-serve-{job.id}", daemon=True
+        )
+        active.thread = thread
+        self._active = active
+        thread.start()
+        try:
+            await asyncio.shield(done)
+        except asyncio.CancelledError:
+            # The drain path owns this job's bookkeeping from here.
+            raise
+        finally:
+            if self._active is active:
+                self._active = None
+        self._finish_job(job, active.outcome, channel)
+
+    def _finish_job(
+        self, job: Job, outcome: dict, channel: EventChannel
+    ) -> None:
+        job.finished_at = time.time()
+        result = outcome.get("result")
+        if outcome.get("interrupted") or (
+            result is not None and result.get("status") == "INTERRUPTED"
+        ):
+            job.status = "interrupted"
+            job.result = result
+            if self.store is not None:
+                self.store.record("interrupted", job)
+        elif "error" in outcome:
+            job.status = "failed"
+            job.error = outcome["error"]
+            if self.store is not None:
+                self.store.record("finished", job)
+        else:
+            job.status = "done"
+            job.result = result
+            if self.store is not None:
+                self.store.record("finished", job)
+            if job.elapsed is not None:
+                self._ewma = (
+                    EWMA_ALPHA * job.elapsed + (1 - EWMA_ALPHA) * self._ewma
+                )
+        channel.publish("status", {"id": job.id, "status": job.status})
+        if job.result is not None:
+            channel.publish("result", job.result)
+        elif job.error is not None:
+            channel.publish("result", {"error": job.error})
+        channel.close()
+
+    # -------------------------------------------------------------- #
+    # Execution (worker thread)
+    # -------------------------------------------------------------- #
+
+    def _budgets(self, request: JobRequest) -> dict:
+        """Per-job budgets clamped to the operator ceiling."""
+        max_configs = request.max_configs
+        clamped = False
+        if self.config.max_configs is not None:
+            if max_configs is None or max_configs > self.config.max_configs:
+                clamped = max_configs is not None
+                max_configs = self.config.max_configs
+        jobs = request.jobs if request.jobs is not None else self.config.jobs
+        return {
+            "max_configs": max_configs,
+            "jobs": jobs,
+            "clamped": clamped,
+        }
+
+    def _resilience(self, request: JobRequest):
+        checkpoint_dir = None
+        if self.state_dir is not None:
+            checkpoint_dir = str(
+                self.state_dir / "ckpt" / request.fingerprint
+            )
+        timeout = self.config.timeout_per_obligation
+        if checkpoint_dir is None and timeout is None:
+            return None
+        from ..engine.resilience import ResilienceConfig
+
+        kwargs = {}
+        if timeout is not None:
+            kwargs["timeout_per_obligation"] = timeout
+        if checkpoint_dir is not None:
+            kwargs["checkpoint_dir"] = checkpoint_dir
+            kwargs["resume"] = True
+        return ResilienceConfig(**kwargs)
+
+    def _execute(self, job: Job, publish_span) -> dict:
+        request = job.request
+        tracer = StreamingTracer(publish_span)
+        tracer.meta["job"] = job.id
+        budgets = self._budgets(request)
+        rcache_before = None
+        if self.warm.rcache is not None:
+            rcache_before = self.warm.rcache.stats.snapshot()
+        started = time.perf_counter()
+        if request.kind == "verify":
+            payload = self._execute_verify(request, tracer, budgets)
+        elif request.kind == "table1":
+            payload = self._execute_table1(request, tracer, budgets)
+        else:
+            payload = self._execute_explain(request)
+        payload["seconds"] = round(time.perf_counter() - started, 6)
+        if budgets["clamped"]:
+            payload["budget_clamped"] = {
+                "requested_max_configs": request.max_configs,
+                "applied_max_configs": budgets["max_configs"],
+            }
+        if self.warm.rcache is not None:
+            payload["rcache"] = self.warm.rcache.stats.delta(rcache_before)
+        payload["warm"] = self.warm.stats.snapshot()
+        return payload
+
+    def _execute_verify(
+        self, request: JobRequest, tracer, budgets: dict
+    ) -> dict:
+        from ..protocols import ALL_PROTOCOLS
+
+        module = ALL_PROTOCOLS[request.protocol]
+        kwargs = {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in request.params
+        }
+        if request.ground_truth is not None:
+            kwargs["ground_truth"] = request.ground_truth
+        report = module.verify(
+            max_configs=budgets["max_configs"],
+            jobs=budgets["jobs"],
+            fail_fast=request.fail_fast,
+            tracer=tracer,
+            resilience=self._resilience(request),
+            warm=self.warm,
+            **kwargs,
+        )
+        return self._report_payload(report)
+
+    def _execute_table1(
+        self, request: JobRequest, tracer, budgets: dict
+    ) -> dict:
+        from ..analysis.table1 import build_table1
+
+        rows = build_table1(
+            max_configs=budgets["max_configs"],
+            jobs=budgets["jobs"],
+            fail_fast=request.fail_fast,
+            tracer=tracer,
+            resilience=self._resilience(request),
+            warm=self.warm,
+        )
+        reports = [row.report for row in rows if row.report is not None]
+        payload = {
+            "kind": "table1",
+            "ok": all(row.ok for row in rows),
+            "status": (
+                "INTERRUPTED"
+                if any(r.interrupted for r in reports)
+                else ("OK" if all(row.ok for row in rows) else "FAILED")
+            ),
+            "rows": [
+                {
+                    "example": row.example,
+                    "status": row.status,
+                    "ok": row.ok,
+                    "num_is": row.num_is,
+                    "seconds": round(row.time_seconds, 6),
+                }
+                for row in rows
+            ],
+        }
+        payload["obligations"] = self._obligation_split(reports)
+        return payload
+
+    def _execute_explain(self, request: JobRequest) -> dict:
+        from ..diagnose import explain_fixture
+        from ..obs.export import failure_payload
+
+        explanation = explain_fixture(request.fixture, jobs=request.jobs)
+        return {
+            "kind": "explain",
+            "ok": explanation.all_confirmed,
+            "status": "OK" if explanation.all_confirmed else "FAILED",
+            "report": failure_payload(explanation),
+        }
+
+    def _report_payload(self, report) -> dict:
+        payload = {
+            "kind": "verify",
+            "protocol": report.name,
+            "parameters": dict(report.parameters),
+            "ok": report.ok,
+            "status": report.status,
+            "summary": report.summary(),
+            "timings": {
+                k: round(v, 6) for k, v in report.timings.items()
+            },
+            "is_checks": [
+                {
+                    "label": label,
+                    "holds": result.holds,
+                    "checked": result.total_checked,
+                }
+                for label, result in report.is_results
+            ],
+            "obligations": self._obligation_split([report]),
+        }
+        if report.budget is not None:
+            payload["budget"] = str(report.budget)
+        if report.interrupted:
+            payload["interrupted"] = True
+        return payload
+
+    @staticmethod
+    def _obligation_split(reports) -> dict:
+        total = cached = resumed = 0
+        for report in reports:
+            for _label, result in report.is_results:
+                total += result.num_obligations
+                cached += len(result.cached_keys)
+                resumed += len(result.resumed_keys)
+        return {
+            "total": total,
+            "executed": total - cached - resumed,
+            "cached": cached,
+            "resumed": resumed,
+        }
+
+
+def run_daemon(config: ServeConfig) -> int:
+    """Blocking entry point used by ``repro serve``."""
+    daemon = ServeDaemon(config)
+    try:
+        asyncio.run(daemon.run())
+    except KeyboardInterrupt:
+        # Signal handlers normally drain first; a second Ctrl-C lands
+        # here. Nothing left to salvage — the journals are flushed per
+        # record.
+        return 130
+    return 0

@@ -1,0 +1,257 @@
+"""A minimal stdlib-only asyncio HTTP/1.1 server with SSE responses.
+
+``http.server`` is thread-per-connection and cannot interleave a
+long-lived ``text/event-stream`` with cheap status probes;
+``aiohttp``-class frameworks are out of bounds (no new dependencies).
+This module is the small slice of HTTP the daemon actually needs:
+
+* request parsing over ``asyncio`` streams — request line, headers,
+  ``Content-Length``-framed body, with hard caps (16 KiB of headers,
+  1 MiB of body) and a read deadline so a stalled client cannot wedge
+  the acceptor (it holds one connection, not the loop);
+* pattern routing (``/jobs/<id>/events``) onto async handlers returning
+  either a :class:`Response` (JSON in one write, ``Connection: close``)
+  or an :class:`EventStreamResponse` whose async iterator yields
+  pre-formatted SSE frames, flushed as they come;
+* tiny, explicit status handling — the daemon speaks 200/202/400/404/
+  405/413/429/500/503 and nothing else.
+
+Protocol scope is deliberate: every response closes the connection
+(keep-alive buys nothing on a localhost control plane and costs parser
+state), and TLS/auth are a reverse proxy's job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from dataclasses import dataclass, field
+from typing import AsyncIterator, Callable, Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = [
+    "HttpError",
+    "EventStreamResponse",
+    "Request",
+    "Response",
+    "Router",
+    "json_response",
+]
+
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+READ_TIMEOUT = 30.0
+
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A client-presentable failure; handlers raise it, the server turns
+    it into a JSON error response with the right status."""
+
+    def __init__(
+        self, status: int, message: str, headers: Optional[Dict[str, str]] = None
+    ):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = headers or {}
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    query: Dict[str, List[str]]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> object:
+        if not self.body:
+            raise HttpError(400, "empty request body (expected JSON)")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+
+@dataclass
+class Response:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class EventStreamResponse:
+    """A ``text/event-stream`` response: ``events`` yields wire-ready
+    SSE frames (see :func:`repro.obs.stream.sse_event`)."""
+
+    events: AsyncIterator[bytes]
+    status: int = 200
+
+
+def json_response(payload: object, status: int = 200, **headers: str) -> Response:
+    body = (json.dumps(payload, indent=1) + "\n").encode("utf-8")
+    return Response(status=status, body=body, headers=dict(headers))
+
+
+def _compile(pattern: str) -> re.Pattern:
+    regex = re.sub(r"<([a-zA-Z_]+)>", r"(?P<\1>[^/]+)", pattern)
+    return re.compile(f"^{regex}$")
+
+
+class Router:
+    """Method+pattern routing table and the per-connection driver."""
+
+    def __init__(self) -> None:
+        self._routes: List[Tuple[str, re.Pattern, Callable]] = []
+
+    def route(self, method: str, pattern: str) -> Callable:
+        def register(handler: Callable) -> Callable:
+            self._routes.append((method.upper(), _compile(pattern), handler))
+            return handler
+
+        return register
+
+    def _resolve(self, method: str, path: str) -> Tuple[Callable, Dict[str, str]]:
+        path_matched = False
+        for route_method, regex, handler in self._routes:
+            match = regex.match(path)
+            if match is None:
+                continue
+            path_matched = True
+            if route_method == method:
+                return handler, match.groupdict()
+        if path_matched:
+            raise HttpError(405, f"method {method} not allowed for {path}")
+        raise HttpError(404, f"no such endpoint: {path}")
+
+    # -------------------------------------------------------------- #
+    # Connection handling
+    # -------------------------------------------------------------- #
+
+    async def handle_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            try:
+                handler, params = self._resolve(request.method, request.path)
+                result = await handler(request, **params)
+            except HttpError as exc:
+                result = json_response(
+                    {"error": exc.message}, status=exc.status, **exc.headers
+                )
+            except Exception as exc:  # a handler bug must not kill the loop
+                result = json_response(
+                    {"error": f"internal error: {type(exc).__name__}: {exc}"},
+                    status=500,
+                )
+            if isinstance(result, EventStreamResponse):
+                await self._write_stream(writer, result)
+            else:
+                await self._write_response(writer, result)
+        except (
+            asyncio.TimeoutError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+        ):
+            pass  # slow, gone, or rude client: drop the connection
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Request]:
+        header_blob = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=READ_TIMEOUT
+        )
+        if len(header_blob) > MAX_HEADER_BYTES:
+            raise HttpError(413, "headers too large")
+        try:
+            head = header_blob.decode("latin-1")
+        except UnicodeDecodeError:
+            return None
+        request_line, *header_lines = head.split("\r\n")
+        parts = request_line.split(" ")
+        if len(parts) != 3:
+            return None
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, "request body too large")
+        body = b""
+        if length:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=READ_TIMEOUT
+            )
+        split = urlsplit(target)
+        return Request(
+            method=method.upper(),
+            path=split.path,
+            query=parse_qs(split.query),
+            headers=headers,
+            body=body,
+        )
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        reason = REASONS.get(response.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {response.status} {reason}",
+            f"Content-Type: {response.content_type}",
+            f"Content-Length: {len(response.body)}",
+            "Connection: close",
+        ]
+        for name, value in response.headers.items():
+            lines.append(f"{name}: {value}")
+        writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1"))
+        writer.write(response.body)
+        await writer.drain()
+
+    async def _write_stream(
+        self, writer: asyncio.StreamWriter, response: EventStreamResponse
+    ) -> None:
+        reason = REASONS.get(response.status, "Unknown")
+        writer.write(
+            (
+                f"HTTP/1.1 {response.status} {reason}\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-store\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("latin-1")
+        )
+        await writer.drain()
+        async for frame in response.events:
+            writer.write(frame)
+            await writer.drain()

@@ -1,0 +1,352 @@
+"""Job model and the daemon's restart journal.
+
+A *job* is one verification request: ``verify`` (one protocol),
+``table1`` (the full sweep), or ``explain`` (a seeded diagnostic
+fixture). Its lifecycle is ``queued -> running -> done`` with two
+off-ramps: ``interrupted`` (the daemon was stopped mid-run — the job is
+re-enqueued on restart and its obligation-level progress survives in the
+engine's checkpoint journal) and ``failed`` (the request itself was
+unservable: unknown protocol, bad parameters).
+
+Persistence follows the engine journal's pattern
+(:mod:`repro.engine.journal`): one append-only JSONL file,
+schema-versioned header, fingerprint-guarded records, torn-tail
+tolerance. The *fingerprint* here is the canonical hash of the request
+payload: every record carries both the id and the fingerprint, a loaded
+record whose embedded request no longer hashes to its recorded
+fingerprint is dropped as corrupt, and the fingerprint also names the
+job's engine checkpoint directory — so a restarted daemon resumes the
+same obligation journal for the same question, and the engine's own
+staleness guard (:class:`~repro.engine.journal.StaleJournalError`)
+refuses it if the code changed underneath.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "JOBS_SCHEMA",
+    "JOB_KINDS",
+    "Job",
+    "JobRequest",
+    "JobStore",
+    "StaleJobStoreError",
+]
+
+JOBS_SCHEMA = "repro.serve/jobs/v1"
+JOB_KINDS = ("verify", "table1", "explain")
+
+#: Job parameters forwarded verbatim to ``<protocol>.verify(...)``; an
+#: allowlist, so a typo'd parameter is a 400 instead of a TypeError deep
+#: inside a worker thread. Protocol-specific instance parameters (rounds,
+#: n, num_nodes, ...) ride in the nested ``params`` object.
+REQUEST_FIELDS = ("kind", "protocol", "fixture", "params", "max_configs",
+                  "jobs", "fail_fast", "ground_truth")
+
+
+class StaleJobStoreError(RuntimeError):
+    """A job journal that is not ours: wrong schema, unreadable header."""
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated, canonicalized job request.
+
+    ``params`` are protocol instance parameters passed through to the
+    ``verify()`` pipeline (e.g. ``{"rounds": 4}``); only JSON scalars
+    and arrays are accepted, so the canonical encoding — and hence the
+    fingerprint — is total.
+    """
+
+    kind: str
+    protocol: Optional[str] = None
+    fixture: Optional[str] = None
+    params: Tuple[Tuple[str, object], ...] = ()
+    max_configs: Optional[int] = None
+    jobs: Optional[int] = None
+    fail_fast: bool = False
+    ground_truth: Optional[bool] = None
+
+    @classmethod
+    def from_payload(cls, payload: object) -> "JobRequest":
+        """Validate a decoded POST body; raises ``ValueError`` with a
+        client-presentable message on anything malformed."""
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        unknown = sorted(set(payload) - set(REQUEST_FIELDS))
+        if unknown:
+            raise ValueError(f"unknown fields: {', '.join(unknown)}")
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise ValueError(
+                f"kind must be one of {', '.join(JOB_KINDS)}, got {kind!r}"
+            )
+        protocol = payload.get("protocol")
+        fixture = payload.get("fixture")
+        if kind == "verify" and not isinstance(protocol, str):
+            raise ValueError("verify jobs need a 'protocol' string")
+        if kind == "explain" and not isinstance(fixture, str):
+            raise ValueError("explain jobs need a 'fixture' string")
+        raw_params = payload.get("params") or {}
+        if not isinstance(raw_params, dict):
+            raise ValueError("'params' must be a JSON object")
+        for key, value in raw_params.items():
+            if not isinstance(value, (int, float, str, bool, list, type(None))):
+                raise ValueError(f"param {key!r} must be a JSON scalar or array")
+        params = tuple(
+            (str(k), tuple(v) if isinstance(v, list) else v)
+            for k, v in sorted(raw_params.items())
+        )
+        max_configs = payload.get("max_configs")
+        if max_configs is not None and (
+            not isinstance(max_configs, int) or max_configs < 1
+        ):
+            raise ValueError("'max_configs' must be a positive integer")
+        jobs = payload.get("jobs")
+        if jobs is not None and not isinstance(jobs, int):
+            raise ValueError("'jobs' must be an integer")
+        ground_truth = payload.get("ground_truth")
+        if ground_truth is not None and not isinstance(ground_truth, bool):
+            raise ValueError("'ground_truth' must be a boolean")
+        return cls(
+            kind=kind,
+            protocol=protocol,
+            fixture=fixture,
+            params=params,
+            max_configs=max_configs,
+            jobs=jobs,
+            fail_fast=bool(payload.get("fail_fast", False)),
+            ground_truth=ground_truth,
+        )
+
+    def as_payload(self) -> dict:
+        """The canonical JSON object (journal records, status endpoint)."""
+        payload: Dict[str, object] = {"kind": self.kind}
+        if self.protocol is not None:
+            payload["protocol"] = self.protocol
+        if self.fixture is not None:
+            payload["fixture"] = self.fixture
+        if self.params:
+            payload["params"] = {
+                k: list(v) if isinstance(v, tuple) else v
+                for k, v in self.params
+            }
+        if self.max_configs is not None:
+            payload["max_configs"] = self.max_configs
+        if self.jobs is not None:
+            payload["jobs"] = self.jobs
+        if self.fail_fast:
+            payload["fail_fast"] = True
+        if self.ground_truth is not None:
+            payload["ground_truth"] = self.ground_truth
+        return payload
+
+    @property
+    def fingerprint(self) -> str:
+        """Content hash of the canonical request — the identity that
+        names the checkpoint directory and guards journal records."""
+        canon = json.dumps(self.as_payload(), sort_keys=True)
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        if self.kind == "verify":
+            return f"verify {self.protocol}"
+        if self.kind == "explain":
+            return f"explain {self.fixture}"
+        return "table1"
+
+
+@dataclass
+class Job:
+    """One admitted job and everything the status endpoint reports."""
+
+    id: str
+    request: JobRequest
+    status: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    attempts: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        return self.request.fingerprint
+
+    @property
+    def elapsed(self) -> Optional[float]:
+        if self.started_at is None or self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def summary(self) -> dict:
+        payload: Dict[str, object] = {
+            "id": self.id,
+            "kind": self.request.kind,
+            "describe": self.request.describe(),
+            "status": self.status,
+            "fingerprint": self.fingerprint,
+            "submitted_at": self.submitted_at,
+            "attempts": self.attempts,
+        }
+        if self.started_at is not None:
+            payload["started_at"] = self.started_at
+        if self.finished_at is not None:
+            payload["finished_at"] = self.finished_at
+            payload["elapsed_seconds"] = round(self.elapsed or 0.0, 6)
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+    def detail(self) -> dict:
+        payload = self.summary()
+        payload["request"] = self.request.as_payload()
+        if self.result is not None:
+            payload["result"] = self.result
+        return payload
+
+
+class JobStore:
+    """Append-only journal of job lifecycle events.
+
+    Layout: line 1 a schema header, then one record per event —
+    ``submitted`` (carries the full request), ``started``, ``finished``
+    (carries the result payload), ``interrupted``. :meth:`load` folds
+    the events newest-wins into per-job state; jobs whose latest event
+    is not ``finished`` are the restart backlog.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    # -------------------------------------------------------------- #
+    # Loading
+    # -------------------------------------------------------------- #
+
+    @classmethod
+    def load(cls, path) -> Tuple[List[Job], List[dict]]:
+        """Replay a journal into ``(jobs, raw_events)``, in submit order.
+
+        Raises :class:`StaleJobStoreError` when the header is missing or
+        belongs to another schema. Torn tails and records whose embedded
+        request no longer matches their recorded fingerprint are dropped
+        — the guard that a half-written or hand-edited record can
+        resurrect the wrong job.
+        """
+        path = Path(path)
+        raw_lines = path.read_bytes().splitlines()
+        if not raw_lines:
+            raise StaleJobStoreError(f"{path}: empty job journal (no header)")
+        try:
+            header = json.loads(raw_lines[0].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise StaleJobStoreError(f"{path}: unreadable header: {exc}") from exc
+        if not isinstance(header, dict) or header.get("schema") != JOBS_SCHEMA:
+            raise StaleJobStoreError(
+                f"{path}: not a job journal (schema "
+                f"{header.get('schema') if isinstance(header, dict) else None!r})"
+            )
+        jobs: Dict[str, Job] = {}
+        order: List[str] = []
+        events: List[dict] = []
+        for raw in raw_lines[1:]:
+            try:
+                record = json.loads(raw.decode("utf-8"))
+                event = record["event"]
+                job_id = record["id"]
+            except Exception:
+                break  # torn tail: trust nothing after the first bad line
+            if event == "submitted":
+                try:
+                    request = JobRequest.from_payload(record["request"])
+                except (KeyError, ValueError):
+                    continue
+                if request.fingerprint != record.get("fingerprint"):
+                    continue  # corrupt or tampered record: drop it
+                job = Job(
+                    id=job_id,
+                    request=request,
+                    submitted_at=float(record.get("at", 0.0)),
+                )
+                jobs[job_id] = job
+                order.append(job_id)
+            else:
+                job = jobs.get(job_id)
+                if job is None:
+                    continue
+                if record.get("fingerprint") != job.fingerprint:
+                    continue
+                if event == "started":
+                    job.status = "running"
+                    job.started_at = float(record.get("at", 0.0))
+                    job.attempts = int(record.get("attempts", job.attempts + 1))
+                elif event == "finished":
+                    job.status = str(record.get("status", "done"))
+                    job.finished_at = float(record.get("at", 0.0))
+                    job.result = record.get("result")
+                    job.error = record.get("error")
+                elif event == "interrupted":
+                    job.status = "interrupted"
+            events.append(record)
+        return [jobs[job_id] for job_id in order], events
+
+    # -------------------------------------------------------------- #
+    # Appending
+    # -------------------------------------------------------------- #
+
+    def open(self, fresh: bool = False) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "w" if fresh or not self.path.exists() else "a"
+        self._handle = open(self.path, mode, encoding="utf-8")
+        if mode == "w":
+            self._append({"schema": JOBS_SCHEMA})
+            self.sync()
+
+    def record(self, event: str, job: Job, **extra) -> None:
+        payload: Dict[str, object] = {
+            "event": event,
+            "id": job.id,
+            "fingerprint": job.fingerprint,
+            "at": time.time(),
+        }
+        if event == "submitted":
+            payload["request"] = job.request.as_payload()
+        if event == "started":
+            payload["attempts"] = job.attempts
+        if event == "finished":
+            payload["status"] = job.status
+            payload["result"] = job.result
+            if job.error is not None:
+                payload["error"] = job.error
+        payload.update(extra)
+        self._append(payload)
+        if event in ("finished", "interrupted"):
+            self.sync()
+        else:
+            self._handle.flush()
+
+    def _append(self, payload: dict) -> None:
+        if self._handle is None:
+            raise RuntimeError("job store is closed")
+        self._handle.write(json.dumps(payload) + "\n")
+
+    def sync(self) -> None:
+        if self._handle is None:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.sync()
+            self._handle.close()
+            self._handle = None

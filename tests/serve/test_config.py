@@ -1,0 +1,73 @@
+"""ServeConfig: flag > environment > default resolution and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.config import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    DEFAULT_QUEUE_DEPTH,
+    ServeConfig,
+)
+
+
+def test_defaults_without_env_or_flags():
+    config = ServeConfig.from_env(environ={})
+    assert config.host == DEFAULT_HOST
+    assert config.port == DEFAULT_PORT
+    assert config.queue_depth == DEFAULT_QUEUE_DEPTH
+    assert config.state_dir is None
+
+
+def test_environment_supplies_defaults():
+    config = ServeConfig.from_env(
+        environ={
+            "REPRO_SERVE_HOST": "0.0.0.0",
+            "REPRO_SERVE_PORT": "8080",
+            "REPRO_SERVE_QUEUE_DEPTH": "4",
+        }
+    )
+    assert config.host == "0.0.0.0"
+    assert config.port == 8080
+    assert config.queue_depth == 4
+
+
+def test_flags_beat_environment():
+    config = ServeConfig.from_env(
+        environ={
+            "REPRO_SERVE_HOST": "0.0.0.0",
+            "REPRO_SERVE_PORT": "8080",
+            "REPRO_SERVE_QUEUE_DEPTH": "4",
+        },
+        host="127.0.0.1",
+        port=0,
+        queue_depth=2,
+    )
+    assert config.host == "127.0.0.1"
+    assert config.port == 0
+    assert config.queue_depth == 2
+
+
+def test_none_flag_falls_through_to_environment():
+    config = ServeConfig.from_env(
+        environ={"REPRO_SERVE_PORT": "9000"}, port=None, host="10.0.0.1"
+    )
+    assert config.port == 9000
+    assert config.host == "10.0.0.1"
+
+
+def test_blank_environment_value_means_unset():
+    config = ServeConfig.from_env(environ={"REPRO_SERVE_PORT": "  "})
+    assert config.port == DEFAULT_PORT
+
+
+def test_non_integer_environment_port_is_an_error():
+    with pytest.raises(ValueError, match="REPRO_SERVE_PORT"):
+        ServeConfig.from_env(environ={"REPRO_SERVE_PORT": "eighty"})
+
+
+@pytest.mark.parametrize("field,value", [("queue_depth", 0), ("port", 70000)])
+def test_validation_rejects_out_of_range(field, value):
+    with pytest.raises(ValueError):
+        ServeConfig(**{field: value})

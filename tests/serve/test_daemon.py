@@ -1,0 +1,259 @@
+"""Daemon lifecycle: admission, backpressure, determinism, drain, SSE.
+
+Each test boots a real ``ServeDaemon`` on a background thread bound to
+an ephemeral port and speaks actual HTTP to it — the same path the CI
+``serve-smoke`` job and the benchmark harness use. The daemon's worker
+runs verifications in-process, so the suite sticks to the smallest
+instances (pingpong at ``rounds=2``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import faults
+from repro.protocols import pingpong
+from repro.serve import ServeConfig
+from repro.serve.daemon import ServeDaemon
+
+PINGPONG = {"kind": "verify", "protocol": "pingpong", "params": {"rounds": 2}}
+
+
+class DaemonHarness:
+    """A daemon on a background thread plus a tiny HTTP client."""
+
+    def __init__(self, **config):
+        config.setdefault("host", "127.0.0.1")
+        config.setdefault("port", 0)
+        self.daemon = ServeDaemon(ServeConfig(**config))
+        self.thread = threading.Thread(
+            target=lambda: asyncio.run(self.daemon.run()), daemon=True
+        )
+
+    def __enter__(self):
+        self.thread.start()
+        assert self.daemon.ready.wait(timeout=30), "daemon never came up"
+        self.base = f"http://127.0.0.1:{self.daemon.bound_port}"
+        return self
+
+    def __exit__(self, *exc):
+        self.daemon.request_shutdown()
+        self.thread.join(timeout=30)
+        assert not self.thread.is_alive(), "daemon failed to drain"
+
+    def get(self, path):
+        with urllib.request.urlopen(self.base + path, timeout=30) as resp:
+            return resp.status, json.load(resp)
+
+    def post(self, path, payload):
+        request = urllib.request.Request(
+            self.base + path, data=json.dumps(payload).encode("utf-8")
+        )
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, json.load(resp)
+
+    def run_job(self, payload, timeout=120.0):
+        _status, accepted = self.post("/jobs", payload)
+        return self.wait(accepted["job"]["id"], timeout)
+
+    def wait(self, job_id, timeout=120.0):
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            _status, detail = self.get(f"/jobs/{job_id}")
+            if detail["status"] in ("done", "failed", "interrupted"):
+                return detail
+            time.sleep(0.02)
+        raise AssertionError(f"job {job_id} still {detail['status']!r}")
+
+
+def test_healthz_reports_queue_and_warm_state():
+    with DaemonHarness(queue_depth=3) as harness:
+        status, health = harness.get("/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["queue"] == {"depth": 0, "capacity": 3}
+        assert "warm" in health and "stats" in health["warm"]
+
+
+def test_job_round_trip_and_warm_second_request(tmp_path):
+    with DaemonHarness(state_dir=str(tmp_path)) as harness:
+        first = harness.run_job(PINGPONG)
+        assert first["status"] == "done"
+        assert first["result"]["status"] == "OK"
+        assert first["result"]["obligations"]["total"] > 0
+        second = harness.run_job(PINGPONG)
+        assert second["result"]["obligations"]["executed"] == 0
+        assert second["result"]["status"] == first["result"]["status"]
+
+
+def test_daemon_verdicts_match_one_shot_cli_reports():
+    """Typed verdict parity: what the daemon returns for a protocol must
+    equal a one-shot in-process ``verify()`` of the same instance."""
+    reference = pingpong.verify(rounds=2)
+    with DaemonHarness() as harness:
+        detail = harness.run_job(PINGPONG)
+    result = detail["result"]
+    assert result["status"] == reference.status
+    assert result["ok"] is reference.ok
+    assert result["obligations"]["total"] == sum(
+        r.num_obligations for _l, r in reference.is_results
+    )
+    assert [c["label"] for c in result["is_checks"]] == [
+        label for label, _r in reference.is_results
+    ]
+    assert [c["holds"] for c in result["is_checks"]] == [
+        r.holds for _l, r in reference.is_results
+    ]
+
+
+def test_concurrent_clients_get_deterministic_results():
+    """N clients hammering the same question concurrently must all see
+    the same typed verdict — the queue serializes, warm reuse must not
+    bleed state between in-flight requests."""
+    results = []
+    errors = []
+    with DaemonHarness() as harness:
+
+        def client():
+            try:
+                detail = harness.run_job(PINGPONG)
+                results.append(
+                    (detail["result"]["status"], detail["result"]["ok"],
+                     detail["result"]["obligations"]["total"])
+                )
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+    assert not errors
+    assert len(results) == 4
+    assert len(set(results)) == 1, results
+    assert results[0][0] == "OK"
+
+
+def test_queue_full_returns_429_with_retry_after():
+    faults.install(
+        faults.FaultInjector(
+            [faults.FaultSpec(key="I1", mode="hang", seconds=20.0)]
+        )
+    )
+    try:
+        with DaemonHarness(queue_depth=1, drain_grace=0.2) as harness:
+            harness.post("/jobs", PINGPONG)  # occupies the worker (hangs)
+            time.sleep(0.3)
+            harness.post("/jobs", PINGPONG)  # fills the queue
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                harness.post("/jobs", PINGPONG)
+            assert excinfo.value.code == 429
+            retry_after = excinfo.value.headers["Retry-After"]
+            assert int(retry_after) >= 1
+    finally:
+        faults.clear()
+
+
+def test_bad_requests_are_400_and_unknown_jobs_404():
+    with DaemonHarness() as harness:
+        for payload in (
+            {"kind": "frobnicate"},
+            {"kind": "verify", "protocol": "not-a-protocol"},
+            {"kind": "verify", "protocol": "pingpong", "params": {"zz": 1}},
+            {"kind": "explain", "fixture": "not-a-fixture"},
+        ):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                harness.post("/jobs", payload)
+            assert excinfo.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            harness.get("/jobs/job-9999-nope")
+        assert excinfo.value.code == 404
+
+
+def test_sse_stream_replays_spans_and_terminates():
+    with DaemonHarness() as harness:
+        detail = harness.run_job(PINGPONG)
+        with urllib.request.urlopen(
+            harness.base + f"/jobs/{detail['id']}/events", timeout=30
+        ) as resp:
+            assert resp.headers["Content-Type"] == "text/event-stream"
+            body = resp.read().decode("utf-8")
+    events = [
+        line.split(": ", 1)[1]
+        for line in body.splitlines()
+        if line.startswith("event: ")
+    ]
+    assert "span" in events
+    assert events[-1] == "result"
+    # Every frame is id/event/data/blank; data lines are valid JSON.
+    for line in body.splitlines():
+        if line.startswith("data: "):
+            json.loads(line.split(": ", 1)[1])
+
+
+def test_draining_daemon_refuses_new_jobs_then_exits():
+    harness = DaemonHarness()
+    with harness:
+        harness.run_job(PINGPONG)
+    # __exit__ drained; the socket is gone entirely.
+    with pytest.raises(urllib.error.URLError):
+        urllib.request.urlopen(harness.base + "/healthz", timeout=5)
+
+
+def test_sigterm_midjob_journals_then_restart_resumes(tmp_path):
+    """In-process version of the CI serve-smoke drill: hang an
+    obligation, drain mid-job, assert the journal recorded the
+    interruption, restart on the same state, and watch the backlog job
+    resume to completion."""
+    state = str(tmp_path)
+    faults.install(
+        faults.FaultInjector(
+            [faults.FaultSpec(key="I2", mode="hang", seconds=3.0)]
+        )
+    )
+    try:
+        with DaemonHarness(state_dir=state, drain_grace=0.3) as harness:
+            _status, accepted = harness.post("/jobs", PINGPONG)
+            job_id = accepted["job"]["id"]
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                _s, detail = harness.get(f"/jobs/{job_id}")
+                if detail["status"] == "running":
+                    break
+                time.sleep(0.05)
+            time.sleep(1.0)  # journal the pre-hang obligations, hit the hang
+        # __exit__ drained: the hung job must be journaled as interrupted.
+        events = [
+            json.loads(line)["event"]
+            for line in (tmp_path / "jobs.jsonl")
+            .read_text()
+            .splitlines()[1:]
+        ]
+        assert events[-1] == "interrupted", events
+    finally:
+        faults.clear()
+    # Give the hung worker thread time to wake and die quietly before
+    # the restarted daemon re-runs the same instance.
+    time.sleep(2.5)
+    with DaemonHarness(state_dir=state) as harness:
+        detail = harness.wait(job_id)
+        assert detail["status"] == "done"
+        assert detail["result"]["status"] == "OK"
+        assert detail["result"]["obligations"]["resumed"] > 0
+        assert detail["attempts"] >= 2
+
+
+def test_stale_job_journal_is_set_aside_not_fatal(tmp_path):
+    (tmp_path / "jobs.jsonl").write_text('{"schema": "other/v1"}\n')
+    with DaemonHarness(state_dir=str(tmp_path)) as harness:
+        detail = harness.run_job(PINGPONG)
+        assert detail["status"] == "done"
+    assert (tmp_path / "jobs.jsonl.stale").exists()

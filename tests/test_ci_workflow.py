@@ -45,6 +45,7 @@ def test_expected_jobs_exist(workflow):
         "trace-artifact",
         "fault-injection",
         "incremental-verification",
+        "serve-smoke",
         "explain-artifact",
     }
 
@@ -65,7 +66,7 @@ def test_every_action_is_version_pinned(workflow):
 
 def test_fast_lane_covers_supported_pythons(workflow):
     matrix = workflow["jobs"]["fast"]["strategy"]["matrix"]
-    assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+    assert matrix["python-version"] == ["3.10", "3.11", "3.12", "3.13"]
 
 
 def test_full_suite_gated_on_lint_and_fast(workflow):
@@ -131,7 +132,8 @@ def test_bench_smoke_guards_representation_attribution(workflow):
 
 
 @pytest.mark.parametrize(
-    "job", ["trace-artifact", "fault-injection", "explain-artifact"]
+    "job",
+    ["trace-artifact", "fault-injection", "serve-smoke", "explain-artifact"],
 )
 def test_artifact_upload_requires_files(workflow, job):
     uploads = [
@@ -199,6 +201,70 @@ def test_incremental_verification_job_proves_cache_reuse(workflow):
 
     partial = verify_cmds[2]
     assert "0 < executed < total" in partial
+
+
+def test_every_job_caches_pip_and_tox_environments(workflow):
+    """Every job must restore the pip/tox caches, keyed on the files
+    that define the environments (``pyproject.toml``/``tox.ini``) so an
+    edit to either invalidates the cache instead of serving stale
+    dependencies."""
+    for name, job in workflow["jobs"].items():
+        caches = [
+            step
+            for step in job["steps"]
+            if step.get("uses", "").startswith("actions/cache")
+        ]
+        assert len(caches) == 1, f"{name}: expected exactly one cache step"
+        with_ = caches[0]["with"]
+        assert "~/.cache/pip" in with_["path"], name
+        assert ".tox" in with_["path"], name
+        key = with_["key"]
+        assert "hashFiles('pyproject.toml', 'tox.ini')" in key, name
+        # Matrix jobs must key per interpreter, or 3.10 wheels leak
+        # into the 3.13 environment.
+        assert "py" in key, name
+
+
+def test_serve_smoke_job_gates_warm_reuse_and_resume(workflow):
+    """The serve-smoke job must boot the daemon, prove the second
+    identical request executes zero obligations, run the sustained load
+    test that produces the uploaded histogram, SIGTERM the daemon
+    mid-job under an injected hang, and assert the journal-backed
+    resume completes after restart."""
+    job = workflow["jobs"]["serve-smoke"]
+    assert "fast" in job["needs"]
+    assert 0 < job["timeout-minutes"] <= 30
+    commands = [step["run"] for step in job["steps"] if "run" in step]
+
+    boot = next(cmd for cmd in commands if "repro serve" in cmd)
+    assert "repro-serve: listening" in boot
+
+    warm = next(cmd for cmd in commands if '"executed"' in cmd)
+    assert 'split["executed"] == 0' in warm
+
+    load = next(cmd for cmd in commands if "bench_serve.py" in cmd)
+    assert "--load" in load
+    assert "serve-load.json" in load
+    assert (ROOT / "benchmarks" / "bench_serve.py").exists()
+
+    hang_step = next(
+        step
+        for step in job["steps"]
+        if "REPRO_FAULTS" in (step.get("env") or {})
+    )
+    assert "hang" in hang_step["env"]["REPRO_FAULTS"]
+    assert "kill -TERM" in hang_step["run"]
+    assert '"event": "interrupted"' in hang_step["run"]
+
+    resume = next(cmd for cmd in commands if "resumed" in cmd)
+    assert 'split["resumed"] > 0' in resume
+
+    upload = next(
+        step
+        for step in job["steps"]
+        if step.get("uses", "").startswith("actions/upload-artifact")
+    )
+    assert upload["with"]["path"] == "serve-load.json"
 
 
 def test_explain_job_runs_seeded_fixture_and_gates_on_minimization(workflow):
