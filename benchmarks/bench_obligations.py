@@ -458,6 +458,124 @@ def run_representation_attribution(app, init_global, jobs: int, reps: int = 2) -
     }
 
 
+def _symmetry_verify_pair(module, verify_kwargs) -> dict:
+    """One protocol verified twice — full universes vs orbit quotient —
+    with verdict maps asserted identical and the shrinkage recorded."""
+
+    def _run(symmetry: bool):
+        reset_process_cache()
+        combine.cache_clear()
+        start = time.perf_counter()
+        report = module.verify(
+            ground_truth=False, symmetry=symmetry, **verify_kwargs
+        )
+        elapsed = time.perf_counter() - start
+        return report, elapsed
+
+    plain, plain_time = _run(False)
+    quotient, quotient_time = _run(True)
+    for (_, a), (_, b) in zip(plain.is_results, quotient.is_results):
+        verdicts = lambda r: {
+            k: (c.name, c.holds, tuple(c.counterexamples))
+            for k, c in r.conditions.items()
+        }
+        assert verdicts(a) == verdicts(b), "quotient changed a verdict"
+    checked = lambda r: sum(res.total_checked for _, res in r.is_results)
+    globals_ = lambda r: max(
+        len(u.globals_) for _, _, u in r.explain_targets
+    )
+    return {
+        "verdict": plain.ok and quotient.ok,
+        "symmetry_group": quotient.parameters.get("symmetry"),
+        "universe_globals": {
+            "full": globals_(plain),
+            "quotient": globals_(quotient),
+        },
+        "total_checked": {
+            "full": checked(plain),
+            "quotient": checked(quotient),
+        },
+        "universe_reduction": round(globals_(plain) / globals_(quotient), 2),
+        "checked_reduction": round(checked(plain) / checked(quotient), 2),
+        "wall_time_seconds": {
+            "full": round(plain_time, 3),
+            "quotient": round(quotient_time, 3),
+        },
+    }
+
+
+def run_symmetry_quotient(include_r2n3: bool = True) -> dict:
+    """The symmetry-quotient section: per-protocol shrinkage at the
+    bench instances, plus the headline — exhaustive Paxos R=2, N=3.
+
+    Broadcast is included honestly: its per-node inputs are distinct, so
+    node orbits barely collapse (~1x) — the section shows where the
+    quotient pays and where it cannot, not just the flattering rows.
+    For R2N3 the unquotiented side reports the universe size only; an
+    unquotiented discharge over 600k+ globals (obligations quadratic in
+    the universe) is recorded as infeasible rather than fabricated.
+    """
+    from repro.protocols import broadcast, nbuyer, twophase
+
+    protocols = {
+        "twophase-n3": _symmetry_verify_pair(twophase, {"n": 3}),
+        "nbuyer-n3": _symmetry_verify_pair(nbuyer, {"n": 3}),
+        "paxos-r2n2": _symmetry_verify_pair(
+            paxos, {"rounds": 2, "num_nodes": 2}
+        ),
+        "broadcast-n3": _symmetry_verify_pair(broadcast, {"n": 3}),
+    }
+    section: dict = {"protocols": protocols}
+    if include_r2n3:
+        spec = paxos.make_symmetry(2, 3)
+        app = paxos.make_sequentialization(2, 3)
+        init = [initial_config(paxos.initial_global(2, 3))]
+
+        reset_process_cache()
+        combine.cache_clear()
+        start = time.perf_counter()
+        full_universe = StoreUniverse.from_reachable(app.program, init)
+        full_explore_time = time.perf_counter() - start
+        full_globals = len(full_universe.globals_)
+        del full_universe
+
+        reset_process_cache()
+        combine.cache_clear()
+        start = time.perf_counter()
+        report = paxos.verify(
+            rounds=2, num_nodes=3, ground_truth=False, symmetry=True
+        )
+        quotient_time = time.perf_counter() - start
+        quotient_globals = max(
+            len(u.globals_) for _, _, u in report.explain_targets
+        )
+        section["paxos-r2n3-exhaustive"] = {
+            "verdict": report.ok,
+            "status": report.status,
+            "bounded": report.bounded,
+            "symmetry_group": report.parameters.get("symmetry"),
+            "group_order": spec.order(),
+            "universe_globals": {
+                "full": full_globals,
+                "quotient": quotient_globals,
+            },
+            "universe_reduction": round(full_globals / quotient_globals, 2),
+            "total_checked_quotient": sum(
+                res.total_checked for _, res in report.is_results
+            ),
+            "wall_time_seconds": {
+                "full_exploration_only": round(full_explore_time, 3),
+                "quotient_pipeline": round(quotient_time, 3),
+            },
+            "full_discharge": (
+                "not attempted: obligations are quadratic in the universe; "
+                "previously only checkable as a random-walk bounded "
+                "instance (verify_sampled, bounded=True)"
+            ),
+        }
+    return section
+
+
 def run_smoke(rounds: int = 1, nodes: int = 1) -> dict:
     """The CI guard: smallest Paxos instance, serial backend only.
 
@@ -475,6 +593,33 @@ def run_smoke(rounds: int = 1, nodes: int = 1) -> dict:
     representation = run_representation_attribution(
         app, init_global, jobs=4, reps=1
     )
+    # Smoke Paxos runs at R=1, N=1 where the symmetry group is trivial,
+    # so the quotient gate uses two-phase commit at n=3 — universes only,
+    # which keeps the smoke lane fast while still proving the orbit fold
+    # end to end (spec -> canonical BFS -> reduction factor).
+    from repro.protocols import twophase
+
+    spec = twophase.make_symmetry(3)
+    tp_program = twophase.make_sequentializations(3)[0][1].program
+    tp_init = [initial_config(twophase.initial_global(3))]
+    reset_process_cache()
+    full_universe = StoreUniverse.from_reachable(tp_program, tp_init)
+    reset_process_cache()
+    quotient_universe = StoreUniverse.from_reachable(
+        tp_program, tp_init, symmetry=spec
+    )
+    symmetry_section = {
+        "protocol": "twophase-n3",
+        "symmetry_group": spec.name,
+        "group_order": spec.order(),
+        "universe_globals": {
+            "full": len(full_universe.globals_),
+            "quotient": len(quotient_universe.globals_),
+        },
+        "universe_reduction": round(
+            len(full_universe.globals_) / len(quotient_universe.globals_), 2
+        ),
+    }
     return {
         "benchmark": "obligation discharge (Paxos) — smoke",
         "mode": "smoke",
@@ -489,6 +634,7 @@ def run_smoke(rounds: int = 1, nodes: int = 1) -> dict:
         "cache_hit_rates_serial": {"evaluation": process_cache().as_dict()},
         "rcache": rcache,
         "representation": representation,
+        "symmetry": symmetry_section,
     }
 
 
@@ -601,6 +747,14 @@ def run_benchmark(rounds: int, nodes: int, jobs: int, tracer=None) -> dict:
     # --- representation attribution: dict vs interned vs columnar ----------
     representation = run_representation_attribution(app, init_global, jobs)
 
+    # --- symmetry quotient: per-protocol shrinkage + exhaustive R2N3 -------
+    # Only for the default full benchmark: the R2N3 exploration alone runs
+    # for minutes, and the small-instance invocations (--rounds 1) are
+    # documented as second-scale smoke runs.
+    symmetry_section = (
+        run_symmetry_quotient() if (rounds, nodes) == (2, 2) else None
+    )
+
     effective_jobs = warm_scheduler.jobs
     slowest = sorted(
         serial_result.timings.items(), key=lambda kv: kv[1], reverse=True
@@ -678,6 +832,13 @@ def run_benchmark(rounds: int, nodes: int, jobs: int, tracer=None) -> dict:
             # boundary.
             **representation,
         },
+        # Orbit quotient: universes folded to lexicographic-least
+        # representatives under each protocol's declared permutation
+        # group; verdicts are asserted identical to the full runs. The
+        # headline entry is Paxos R=2, N=3 discharged exhaustively —
+        # previously only reachable as a random-walk bounded check.
+        # Default-instance runs only (minutes of exploration).
+        **({"symmetry": symmetry_section} if symmetry_section else {}),
         "workers_warm": _worker_summary(warm_result),
         "workers_cold": _worker_summary(cold_result),
         "slowest_obligations_serial": [

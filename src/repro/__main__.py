@@ -3,7 +3,7 @@
 Commands
 --------
 ``table1 [--jobs N] [--stats] [--fail-fast] [--max-configs N] [--explain]
-[--trace FILE] [--metrics FILE] [resilience flags]``
+[--symmetry] [--trace FILE] [--metrics FILE] [resilience flags]``
     Regenerate the Table 1 analogue (runs all seven verifications).
     ``--jobs`` discharges the IS obligations over N worker processes;
     ``--stats`` adds per-obligation wall-time / enumeration statistics;
@@ -13,9 +13,14 @@ Commands
     replay-confirms the counterexamples of every failed row;
     ``--trace`` writes a Chrome ``trace_event`` JSON (open in
     ``chrome://tracing`` or Perfetto) and ``--metrics`` a flat metrics
-    JSON, both covering every discharged obligation.
+    JSON, both covering every discharged obligation;
+    ``--symmetry``/``--no-symmetry`` toggles the orbit quotient: every
+    exploration and IS universe is folded to lexicographic-least
+    representatives under the protocol's declared permutation group
+    (``make_symmetry``), shrinking the enumeration without changing any
+    verdict.
 ``verify <protocol> [--jobs N] [--fail-fast] [--max-configs N] [--explain]
-[--trace FILE] [--metrics FILE] [resilience flags]``
+[--symmetry] [--trace FILE] [--metrics FILE] [resilience flags]``
     Run one protocol's pipeline at its default instance parameters and
     print the report. Protocols: broadcast, pingpong, prodcons, nbuyer,
     changroberts, twophase, paxos.
@@ -254,6 +259,7 @@ def _cmd_table1(args) -> int:
             tracer=tracer,
             resilience=args.resilience_config,
             cache=cache,
+            symmetry=args.symmetry,
         )
     except StaleJournalError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -299,6 +305,7 @@ def _cmd_verify(args) -> int:
             tracer=tracer,
             resilience=args.resilience_config,
             cache=cache,
+            symmetry=args.symmetry,
         )
     except StaleJournalError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -424,6 +431,14 @@ def main(argv=None) -> int:
         default=None,
         help="write a flat metrics JSON (per-obligation and aggregates)",
     )
+    table1.add_argument(
+        "--symmetry",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="quotient every exploration and IS universe by the "
+        "protocol's declared permutation group (where one exists); "
+        "verdicts are unchanged, the enumeration shrinks",
+    )
     _add_resilience_flags(table1)
     _add_cache_flags(table1)
     verify = sub.add_parser("verify", help="verify one protocol")
@@ -465,6 +480,13 @@ def main(argv=None) -> int:
         metavar="FILE",
         default=None,
         help="write a flat metrics JSON (per-obligation and aggregates)",
+    )
+    verify.add_argument(
+        "--symmetry",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="quotient the exploration and IS universes by the "
+        "protocol's declared permutation group (where one exists)",
     )
     _add_resilience_flags(verify)
     _add_cache_flags(verify)

@@ -52,6 +52,10 @@ class Table1Row:
     #: the row's IS applications (0 when produced by the inline checker).
     num_obligations: int = 0
     num_checks: int = 0
+    #: ``True`` when the row's universe was sampled (random walks), so a
+    #: PASS is a bounded check, not an exhaustive discharge; surfaced in
+    #: the rendered table as a ``*`` on the status.
+    bounded: bool = False
     #: The underlying report, for per-obligation drill-down
     #: (:func:`render_obligation_stats`); not rendered in the table.
     report: Optional[ProtocolReport] = field(default=None, repr=False, compare=False)
@@ -70,8 +74,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Broadcast consensus",
         broadcast,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: broadcast.verify(
-            n=3, iterated=True, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None, symmetry=False: broadcast.verify(
+            n=3, iterated=True, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm, symmetry=symmetry
         ),
         (
             broadcast.make_invariant,
@@ -87,8 +91,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Ping-Pong",
         pingpong,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: pingpong.verify(
-            rounds=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None, symmetry=False: pingpong.verify(
+            rounds=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm, symmetry=symmetry
         ),
         (
             pingpong.make_abstractions,
@@ -101,8 +105,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Producer-Consumer",
         prodcons,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: prodcons.verify(
-            bound=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None, symmetry=False: prodcons.verify(
+            bound=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm, symmetry=symmetry
         ),
         (
             prodcons.make_consumer_abs,
@@ -115,8 +119,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "N-Buyer",
         nbuyer,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: nbuyer.verify(
-            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None, symmetry=False: nbuyer.verify(
+            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm, symmetry=symmetry
         ),
         (nbuyer.make_measure, nbuyer.make_sequentializations),
         (nbuyer.make_atomic, nbuyer.initial_global),
@@ -124,8 +128,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Chang-Roberts",
         changroberts,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: changroberts.verify(
-            n=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None, symmetry=False: changroberts.verify(
+            n=4, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm, symmetry=symmetry
         ),
         (
             changroberts.make_handle_abs,
@@ -140,8 +144,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Two-phase commit",
         twophase,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: twophase.verify(
-            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None, symmetry=False: twophase.verify(
+            n=3, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm, symmetry=symmetry
         ),
         (twophase.make_measure, twophase.make_sequentializations),
         (twophase.make_atomic, twophase.initial_global),
@@ -149,8 +153,8 @@ TABLE1_REGISTRY: List[_Entry] = [
     _Entry(
         "Paxos",
         paxos,
-        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None: paxos.verify(
-            rounds=2, num_nodes=2, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
+        lambda max_configs=None, jobs=None, fail_fast=False, tracer=None, resilience=None, cache=None, warm=None, symmetry=False: paxos.verify(
+            rounds=2, num_nodes=2, max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm, symmetry=symmetry
         ),
         (
             paxos.make_abstractions,
@@ -172,6 +176,7 @@ def build_table1(
     resilience=None,
     cache=None,
     warm=None,
+    symmetry: bool = False,
 ) -> List[Table1Row]:
     """Run every example's full pipeline and assemble the table.
 
@@ -195,6 +200,10 @@ def build_table1(
     arms the persistent result cache for every row; one instance is
     shared across the sweep, so an unchanged protocol's obligations are
     seeded instead of re-executed (``python -m repro table1 --cache``).
+    ``symmetry`` quotients every exploration and IS universe by the
+    protocol's declared permutation group (``make_symmetry``, where one
+    exists — protocols without a nontrivial group ignore the flag);
+    verdicts are quotient-independent, only the enumeration shrinks.
     """
     from ..engine.rcache import ObligationCache
 
@@ -204,7 +213,7 @@ def build_table1(
     rows: List[Table1Row] = []
     for entry in entries if entries is not None else TABLE1_REGISTRY:
         report = entry.verify(
-            max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm
+            max_configs=max_configs, jobs=jobs, fail_fast=fail_fast, tracer=tracer, resilience=resilience, cache=cache, warm=warm, symmetry=symmetry
         )
         rows.append(
             Table1Row(
@@ -220,6 +229,7 @@ def build_table1(
                     r.num_obligations for _, r in report.is_results
                 ),
                 num_checks=sum(r.total_checked for _, r in report.is_results),
+                bounded=report.bounded,
                 report=report,
             )
         )
@@ -232,20 +242,26 @@ def build_table1(
 
 def render_table1(rows: Sequence[Table1Row]) -> str:
     """Render the table in the paper's column layout, extended with the
-    obligation engine's per-row statistics (#Obl, #Checks)."""
+    obligation engine's per-row statistics (#Obl, #Checks). A bounded row
+    (sampled universe — the PASS is not exhaustive) is starred."""
     header = (
         f"{'Example':<22} {'#IS':>4} {'LOC Total':>10} {'LOC IS':>7} "
         f"{'LOC Impl':>9} {'Time (s)':>9} {'#Obl':>5} {'#Checks':>9}  "
-        f"{'Status':<6}"
+        f"{'Status':<7}"
     )
     lines = [header, "-" * len(header)]
+    starred = False
     for row in rows:
+        status = row.status + ("*" if row.bounded else "")
+        starred = starred or row.bounded
         lines.append(
             f"{row.example:<22} {row.num_is:>4} {row.loc_total:>10} "
             f"{row.loc_is:>7} {row.loc_impl:>9} {row.time_seconds:>9.2f} "
             f"{row.num_obligations:>5} {row.num_checks:>9}  "
-            f"{row.status:<6}"
+            f"{status:<7}"
         )
+    if starred:
+        lines.append("* bounded: sampled universe — a PASS is not exhaustive")
     return "\n".join(lines)
 
 

@@ -84,10 +84,22 @@ def explore(
     program: Program,
     initials: Iterable[Config],
     max_configs: Optional[int] = None,
+    canonicalize=None,
 ) -> ExplorationResult:
     """Breadth-first exploration of all configurations reachable from
     ``initials``. Collects terminating global stores, whether a failure is
-    reachable, and deadlocked configurations."""
+    reachable, and deadlocked configurations.
+
+    ``canonicalize`` (a ``Config -> Config`` map, e.g.
+    :meth:`repro.core.symmetry.Canonicalizer.config`) folds every visited
+    configuration to its orbit representative *before* deduplication, so
+    the search explores the quotient state space: ``reachable`` then holds
+    one configuration per orbit. Sound when the program is equivariant
+    under the underlying permutation group — each representative's
+    successors are representatives of the original successors' orbits —
+    which is exactly what a protocol asserts by declaring a
+    :class:`~repro.core.symmetry.SymmetrySpec`.
+    """
     frontier: List[Config] = []
     reachable: Set[Config] = set()
     final_globals: Set[Store] = set()
@@ -95,6 +107,8 @@ def explore(
     can_fail = False
 
     for config in initials:
+        if canonicalize is not None:
+            config = canonicalize(config)
         if config not in reachable:
             reachable.add(config)
             frontier.append(config)
@@ -110,11 +124,14 @@ def explore(
             if isinstance(step.target, Failure):
                 can_fail = True
                 continue
-            if step.target not in reachable:
-                reachable.add(step.target)
+            target = step.target
+            if canonicalize is not None:
+                target = canonicalize(target)
+            if target not in reachable:
+                reachable.add(target)
                 if max_configs is not None and len(reachable) > max_configs:
                     raise ExplorationBudgetExceeded(len(reachable), max_configs)
-                frontier.append(step.target)
+                frontier.append(target)
         if not progressed:
             deadlocks.add(config)
 

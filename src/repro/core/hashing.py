@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Tuple
 
-__all__ = ["unordered_items_hash"]
+__all__ = ["unordered_items_hash", "structural_key"]
 
 
 def unordered_items_hash(items: Iterable[Tuple[Hashable, Hashable]]) -> int:
@@ -29,3 +29,67 @@ def unordered_items_hash(items: Iterable[Tuple[Hashable, Hashable]]) -> int:
     digests provably identical.
     """
     return hash(frozenset(items))
+
+
+def structural_key(value) -> str:
+    """A deterministic total order key for protocol values.
+
+    ``unordered_items_hash`` (above) inherits Python's per-process string
+    hashing, so it cannot order anything across ``PYTHONHASHSEED``
+    boundaries; ``repr`` is worse — address-bearing reprs make two runs
+    disagree about the same store. This renders a value to a *structural*
+    string recursively: primitives with a type tag, sequences elementwise,
+    unordered containers by sorted element keys. Two equal values always
+    render identically, two unequal values of the repo's store vocabulary
+    render differently, and the rendering is byte-identical across
+    processes, hash seeds, and dict insertion orders.
+
+    It is the sort key for harvested store universes
+    (:meth:`~repro.core.universe.StoreUniverse.from_reachable`) and the
+    lexicographic order under which ``repro.core.symmetry`` picks orbit
+    representatives — both need exactly this cross-process stability.
+    """
+    if value is None:
+        return "N"
+    if isinstance(value, (bool, int, float)):
+        # One numeric rendering for all three types: Python's container
+        # equality is cross-type (``False == 0 == 0.0``), and the key
+        # must agree with ``==`` or canonicalization would not be
+        # well-defined on store equality classes.
+        try:
+            if value == int(value):
+                return f"n{int(value)}"
+        except (OverflowError, ValueError):
+            pass  # inf / nan: fall through to repr
+        return f"n{value!r}"
+    if isinstance(value, str):
+        return f"s{len(value)}:{value}"
+    if isinstance(value, bytes):
+        return f"y{len(value)}:{value.hex()}"
+    if isinstance(value, (tuple, list)):
+        return "t(" + ",".join(structural_key(v) for v in value) + ")"
+    if isinstance(value, (set, frozenset)):
+        return "S{" + ",".join(sorted(structural_key(v) for v in value)) + "}"
+    counts = getattr(value, "counts", None)
+    if callable(counts):
+        # Multiset-shaped: unordered (element, multiplicity) pairs.
+        rendered = sorted(
+            structural_key(e) + "*" + str(c) for e, c in counts()
+        )
+        return "m{" + ",".join(rendered) + "}"
+    action = getattr(value, "action", None)
+    locals_ = getattr(value, "locals", None)
+    if isinstance(action, str) and locals_ is not None:
+        # PendingAsync-shaped (duck-typed to avoid a circular import).
+        return "p(" + action + ";" + structural_key(locals_) + ")"
+    items = getattr(value, "items", None)
+    if callable(items):
+        # Store / FrozenDict / dict: unordered (key, value) pairs.
+        rendered = sorted(
+            structural_key(k) + "=" + structural_key(v) for k, v in items()
+        )
+        return type(value).__name__ + "{" + ",".join(rendered) + "}"
+    # Last resort for values outside the store vocabulary; repr must then
+    # be deterministic for the ordering to be (same caveat stable_digest
+    # documents for unfingerprintable values).
+    return "r" + repr(value)

@@ -712,6 +712,7 @@ class ISApplication:
         resilience=None,
         checkpoint_label: Optional[str] = None,
         cache=None,
+        symmetry=None,
     ) -> ISResult:
         """Check all IS conditions over a store universe.
 
@@ -742,9 +743,19 @@ class ISApplication:
         directory path) reuses persisted results for obligations whose
         dependency fingerprints are unchanged — they are seeded, not
         executed — and stores every freshly completed obligation back.
+
+        ``symmetry`` (a :class:`~repro.core.symmetry.SymmetrySpec`) folds
+        the universe onto orbit representatives before discharging — a
+        no-op when the universe was already built quotiented
+        (``StoreUniverse.from_reachable(..., symmetry=...)``). Verdicts
+        are preserved for equivariant protocols (see DESIGN.md, "Symmetry
+        quotients"); the quotient's fingerprints carry the group identity
+        so its cache entries never alias the unquotiented ones.
         """
         from ..engine.obligations import discharge
 
+        if symmetry is not None:
+            universe = universe.quotiented(symmetry)
         return discharge(
             self,
             universe,

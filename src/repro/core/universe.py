@@ -28,6 +28,7 @@ from .action import PendingAsync
 from .cache import CacheStats
 from .context import NoContext, PAContext
 from .explore import explore
+from .hashing import structural_key
 from .program import Program
 from .semantics import Config
 from .store import EMPTY_STORE, Store, combine, intern_epoch, memo_key
@@ -48,6 +49,11 @@ class StoreUniverse:
     globals_: List[Store]
     locals_by_action: Dict[str, List[Store]] = field(default_factory=dict)
     context: PAContext = field(default_factory=NoContext)
+    #: The :class:`~repro.core.symmetry.SymmetrySpec` this universe is
+    #: quotiented under, or ``None`` for an unquotiented universe. Hashed
+    #: into ``universe_fingerprint`` (``repro.engine.rcache``) so
+    #: quotiented and unquotiented caches can never alias.
+    symmetry: Optional[object] = None
     _pair_cache: Dict[tuple, bool] = field(
         default_factory=dict, repr=False, compare=False
     )
@@ -106,18 +112,62 @@ class StoreUniverse:
         program: Program,
         initials: Iterable[Config],
         max_configs: Optional[int] = None,
+        symmetry=None,
     ) -> "StoreUniverse":
-        """Harvest globals and PA locals from the reachable state space."""
-        result = explore(program, initials, max_configs=max_configs)
+        """Harvest globals and PA locals from the reachable state space.
+
+        With a ``symmetry`` (a :class:`~repro.core.symmetry.SymmetrySpec`),
+        the exploration itself runs on the orbit quotient — every visited
+        configuration is canonicalized before deduplication — so both the
+        search frontier *and* the harvested universe shrink by up to the
+        group order. Locals are harvested from the canonical
+        configurations' pending multisets — and then **closed under the
+        group**: a canonical representative fixes one permutation per
+        configuration, so the raw harvest holds one orbit member per
+        (config, PA) pair, while the discharge pairs every canonical
+        global with every pool element and needs the member *matching
+        that global's ghost* to be present. Closure restores exactly the
+        locals the unquotiented harvest would contain (reachability is
+        equivariant), so a failing (global, locals) pair in the full
+        product always has a failing image in the quotient product —
+        counterexamples cannot be quotiented away.
+
+        Stores are ordered by :func:`~repro.core.hashing.structural_key`
+        (not ``repr``): address-bearing reprs of exotic values made
+        universe order — and therefore sampler output and fingerprints —
+        nondeterministic across processes.
+        """
+        canonicalize = None
+        canon = None
+        if symmetry is not None:
+            from .symmetry import Canonicalizer
+
+            canon = Canonicalizer.of(symmetry)
+            symmetry = canon.spec
+            canonicalize = canon.config
+        result = explore(
+            program, initials, max_configs=max_configs, canonicalize=canonicalize
+        )
         globals_seen: Set[Store] = set()
         locals_seen: Dict[str, Set[Store]] = {}
         for config in result.reachable:
             globals_seen.add(config.glob)
             for pending in config.pending.support():
                 locals_seen.setdefault(pending.action, set()).add(pending.locals)
+        if canon is not None:
+            for name, stores in locals_seen.items():
+                locals_seen[name] = {
+                    member
+                    for store in stores
+                    for member in canon.local_orbit(name, store)
+                }
         return cls(
-            sorted(globals_seen, key=repr),
-            {name: sorted(stores, key=repr) for name, stores in locals_seen.items()},
+            sorted(globals_seen, key=structural_key),
+            {
+                name: sorted(stores, key=structural_key)
+                for name, stores in locals_seen.items()
+            },
+            symmetry=symmetry,
         )
 
     @classmethod
@@ -128,16 +178,29 @@ class StoreUniverse:
         walks: int = 200,
         max_steps: int = 10_000,
         seed: int = 0,
+        symmetry=None,
     ) -> "StoreUniverse":
         """Harvest a universe from random-scheduler walks instead of full
         BFS — the bounded-checking fallback for instances whose reachable
         state space is too large to enumerate (e.g. Paxos at R=2, N=3).
         A PASS over such a universe is a bounded check, not an exhaustive
-        one; protocols document which instances use it."""
+        one; protocols document which instances use it (and reports carry
+        ``bounded=True``). ``symmetry`` canonicalizes every sampled
+        configuration before harvesting, folding the sample onto orbit
+        representatives (locals pools group-closed, as in
+        :meth:`from_reachable`)."""
         import random
 
         from .explore import random_execution
 
+        canonicalize = None
+        canon = None
+        if symmetry is not None:
+            from .symmetry import Canonicalizer
+
+            canon = Canonicalizer.of(symmetry)
+            symmetry = canon.spec
+            canonicalize = canon.config
         rng = random.Random(seed)
         globals_seen: Set[Store] = set()
         locals_seen: Dict[str, Set[Store]] = {}
@@ -148,25 +211,98 @@ class StoreUniverse:
             for config in execution.configs():
                 if not isinstance(config, Config):
                     continue
+                if canonicalize is not None:
+                    config = canonicalize(config)
                 globals_seen.add(config.glob)
                 for pending in config.pending.support():
                     locals_seen.setdefault(pending.action, set()).add(pending.locals)
+        if canon is not None:
+            for name, stores in locals_seen.items():
+                locals_seen[name] = {
+                    member
+                    for store in stores
+                    for member in canon.local_orbit(name, store)
+                }
         return cls(
-            sorted(globals_seen, key=repr),
-            {name: sorted(stores, key=repr) for name, stores in locals_seen.items()},
+            sorted(globals_seen, key=structural_key),
+            {
+                name: sorted(stores, key=structural_key)
+                for name, stores in locals_seen.items()
+            },
+            symmetry=symmetry,
         )
 
     def sampled(self, limit: int, keep=None) -> "StoreUniverse":
         """A deterministic stratified subsample of the globals (every k-th
-        after sorting), always retaining globals for which ``keep`` holds.
-        Locals are kept in full."""
+        after ordering by structural key), always retaining globals for
+        which ``keep`` holds. Locals are kept in full.
+
+        The result has exactly ``min(limit, len(globals_))`` globals when
+        the keep-set fits within the limit, and the keep-set verbatim
+        otherwise — never more than ``max(limit, len(retained))`` (the
+        old floor-division stride silently blew the caller's budget).
+        The stratified part picks evenly spaced positions over the
+        ordered rest. Ordering by structural key makes the sample
+        independent of the universe's construction order.
+        """
         if len(self.globals_) <= limit:
             return self
-        retained = [g for g in self.globals_ if keep is not None and keep(g)]
-        rest = [g for g in self.globals_ if g not in set(retained)]
-        stride = max(1, len(rest) // max(1, limit - len(retained)))
-        sample = retained + rest[::stride]
-        return StoreUniverse(sample, self.locals_by_action, self.context)
+        ordered = sorted(self.globals_, key=structural_key)
+        if keep is None:
+            retained: List[Store] = []
+            rest = ordered
+        else:
+            retained = [g for g in ordered if keep(g)]
+            retained_set = set(retained)
+            rest = [g for g in ordered if g not in retained_set]
+        room = limit - len(retained)
+        if room <= 0:
+            sample = retained
+        elif len(rest) <= room:
+            sample = retained + rest
+        else:
+            # Exactly ``room`` evenly spaced positions; the first and the
+            # last of the ordered rest are always included.
+            last = len(rest) - 1
+            positions = sorted(
+                {(j * last) // (room - 1) for j in range(room)}
+                if room > 1
+                else {0}
+            )
+            sample = retained + [rest[p] for p in positions]
+        return StoreUniverse(
+            sample, self.locals_by_action, self.context, self.symmetry
+        )
+
+    def quotiented(self, symmetry) -> "StoreUniverse":
+        """This universe folded onto orbit representatives.
+
+        Globals map to their canonical orbit elements (deduplicated);
+        locals pools are closed under the group and deduplicated — a
+        no-op for pools harvested from a full exploration (those are
+        group-closed already by equivariance of reachability), but it
+        keeps hand-extended boundary pools covering every orbit a
+        canonical global's ghost can mention. Already-quotiented
+        universes and ``symmetry=None`` pass through unchanged.
+        """
+        if symmetry is None or self.symmetry is not None:
+            return self
+        from .symmetry import Canonicalizer
+
+        canon = Canonicalizer.of(symmetry)
+        globals_ = sorted(
+            {canon.store(g) for g in self.globals_}, key=structural_key
+        )
+        locals_by_action: Dict[str, List[Store]] = {}
+        for name, pool in self.locals_by_action.items():
+            closed: Dict[Store, None] = {}
+            for locals_ in pool:
+                for member in canon.local_orbit(name, locals_):
+                    closed.setdefault(member)
+            locals_by_action[name] = sorted(closed, key=structural_key)
+        return StoreUniverse(
+            globals_, locals_by_action, self.context, canon.spec
+        )
 
     @classmethod
     def of_stores(
@@ -246,7 +382,9 @@ class StoreUniverse:
 
     def with_context(self, context: PAContext) -> "StoreUniverse":
         """A copy of this universe under a different PA context."""
-        return StoreUniverse(self.globals_, self.locals_by_action, context)
+        return StoreUniverse(
+            self.globals_, self.locals_by_action, context, self.symmetry
+        )
 
     def extended(
         self,
@@ -259,7 +397,9 @@ class StoreUniverse:
         for name, stores in dict(extra_locals).items():
             merged = locals_by_action.get(name, []) + list(stores)
             locals_by_action[name] = list(dict.fromkeys(merged))
-        return StoreUniverse(globals_, locals_by_action, self.context)
+        return StoreUniverse(
+            globals_, locals_by_action, self.context, self.symmetry
+        )
 
     def merge(self, other: "StoreUniverse") -> "StoreUniverse":
         """Union of two universes (keeps this universe's PA context)."""
@@ -267,4 +407,10 @@ class StoreUniverse:
 
     def __repr__(self) -> str:
         locals_desc = {k: len(v) for k, v in self.locals_by_action.items()}
-        return f"StoreUniverse({len(self.globals_)} globals, locals={locals_desc})"
+        quotient = (
+            f", quotient={self.symmetry.name}" if self.symmetry is not None else ""
+        )
+        return (
+            f"StoreUniverse({len(self.globals_)} globals, "
+            f"locals={locals_desc}{quotient})"
+        )

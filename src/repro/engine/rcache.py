@@ -334,6 +334,13 @@ def universe_fingerprint(universe, hasher: Optional[_Hasher] = None) -> str:
         )
     parts.append("context")
     parts.append(hasher.digest(universe.context))
+    symmetry = getattr(universe, "symmetry", None)
+    if symmetry is not None:
+        # A quotiented universe must never alias its unquotiented twin
+        # (or a quotient under a different group): digest the spec's
+        # domains *and* rename-rule closures, not just its name.
+        parts.append("symmetry")
+        parts.append(hasher.digest(symmetry.fingerprint_parts()))
     return _hex("universe", *parts)
 
 

@@ -58,6 +58,7 @@ __all__ = [
     "make_collect_abs",
     "make_sequentialization",
     "make_iterated_sequentializations",
+    "make_symmetry",
     "make_universe",
     "spec_holds",
     "verify",
@@ -454,13 +455,47 @@ def make_module(n: int):
 
 
 def make_universe(
-    program: Program, n: int, values=None, max_configs=None
+    program: Program, n: int, values=None, max_configs=None, symmetry=None
 ) -> StoreUniverse:
     """Reachable-state universe of the given program under the ghost
     (linear-permission) PA context."""
     init = initial_config(initial_global(n, values))
-    universe = StoreUniverse.from_reachable(program, [init], max_configs=max_configs)
+    universe = StoreUniverse.from_reachable(
+        program, [init], max_configs=max_configs, symmetry=symmetry
+    )
     return universe.with_context(GhostContext(GHOST))
+
+
+def make_symmetry(n: int):
+    """Broadcast consensus is symmetric in the node identity only.
+
+    Node ids index ``value``/``decision``/``CH`` and appear as the ``i``
+    parameter of ``Broadcast``/``Collect``; message payloads are the raw
+    input values, untouched by a node renaming.  Values are *not* a
+    symmetry sort: ``Collect`` decides the maximum, an ordered comparison,
+    so permuting values does not commute with the program.  With distinct
+    inputs per node the initial store has a trivial stabilizer, but
+    mid-protocol stores (partially drained channels, partial decisions)
+    still collapse.  Group order: ``n!``.
+    """
+    from ..core import symmetry as sym
+
+    node = sym.atom("node")
+    return sym.SymmetrySpec(
+        name=f"broadcast-n{n}",
+        sorts={"node": tuple(range(1, n + 1))},
+        global_rules={
+            "value": sym.fmap(node, sym.ID),
+            "decision": sym.fmap(node, sym.ID),
+            "CH": sym.fmap(node, sym.ID),
+        },
+        local_rules={
+            "Broadcast": {"i": node},
+            "Collect": {"i": node},
+            "CollectAbs": {"i": node},
+        },
+        ghost_var=GHOST,
+    )
 
 
 def spec_holds(final_global: Store, n: int, values: Sequence[int]) -> bool:
@@ -482,12 +517,14 @@ def verify(
     resilience=None,
     cache=None,
     warm=None,
+    symmetry: bool = False,
 ) -> ProtocolReport:
     """Full pipeline: IS condition checks, sequential spec on the
     transformed program, and (optionally) the ground-truth refinement
     :math:`\\mathcal{P} \\preccurlyeq \\mathcal{P}'` by exhaustive
     exploration. A blown ``max_configs`` budget is reported as a BUDGET
-    verdict on the report, not raised."""
+    verdict on the report, not raised. ``symmetry=True`` quotients the IS
+    universes by :func:`make_symmetry`'s node-permutation group."""
     from contextlib import nullcontext
 
     from ..engine.rcache import ObligationCache
@@ -497,13 +534,17 @@ def verify(
         cache = warm.rcache
     cache = ObligationCache.ensure(cache)
     values = tuple(values if values is not None else default_values(n))
-    report = ProtocolReport(
-        "broadcast-consensus", {"n": n, "values": values, "iterated": iterated}
-    )
+    parameters = {"n": n, "values": values, "iterated": iterated}
+    spec = None
+    if symmetry:
+        spec = make_symmetry(n)
+        parameters["symmetry"] = spec.name
+    report = ProtocolReport("broadcast-consensus", parameters)
     instance_key = (
         "broadcast-consensus",
         repr((n, values, iterated)),
         max_configs,
+        spec.token() if spec is not None else None,
     )
     original = make_atomic(n)
 
@@ -536,6 +577,7 @@ def verify(
                             n,
                             values,
                             max_configs=max_configs,
+                            symmetry=spec,
                         )
 
                     if warm is not None:

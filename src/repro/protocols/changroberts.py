@@ -379,8 +379,14 @@ def verify(
     resilience=None,
     cache=None,
     warm=None,
+    symmetry: bool = False,
 ) -> ProtocolReport:
-    """Full pipeline for Chang-Roberts."""
+    """Full pipeline for Chang-Roberts.
+
+    Ring positions are *not* symmetric: the election compares node ids
+    (ordered) and messages travel a fixed orientation, so a permutation
+    of positions does not commute with the program; ``symmetry`` is
+    accepted for pipeline uniformity and ignored."""
     applications = make_sequentializations(n)
     return verify_protocol(
         "chang-roberts",

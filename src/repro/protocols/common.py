@@ -170,6 +170,11 @@ class ProtocolReport:
     timings: Dict[str, float] = field(default_factory=dict)
     budget: Optional[BudgetHit] = None
     interrupted: bool = False
+    #: True when the universe was *sampled* (random walks) rather than
+    #: exhaustively harvested: a PASS is then a bounded check, not a
+    #: proof. Surfaced by ``table1`` and the ``repro serve`` job payloads
+    #: so a sampled PASS can't masquerade as an exhaustive one.
+    bounded: bool = False
     explain_targets: List[Tuple[str, object, object]] = field(
         default_factory=list, compare=False, repr=False
     )
@@ -253,6 +258,10 @@ class ProtocolReport:
             parts.append(f"  {self.budget}")
         if self.interrupted:
             parts.append("  interrupted: partial report (salvaged outcomes)")
+        if self.bounded:
+            parts.append(
+                "  bounded: sampled universe — a PASS is not exhaustive"
+            )
         return "\n".join(parts)
 
 
@@ -271,6 +280,7 @@ def verify_protocol(
     resilience=None,
     cache=None,
     warm=None,
+    symmetry=None,
 ) -> ProtocolReport:
     """Generic protocol pipeline: check each IS application over the
     reachable universe (under the ghost PA context), then the sequential
@@ -313,6 +323,17 @@ def verify_protocol(
     given explicitly. Verdicts are warm/cold-identical (see
     ``repro.engine.warm`` for the soundness argument and
     ``tests/serve/test_warm.py`` for the proof-by-test).
+
+    ``symmetry`` (a :class:`~repro.core.symmetry.SymmetrySpec`) runs every
+    IS check over the orbit-quotiented universe: the reachability
+    exploration canonicalizes configurations on the fly, so both the BFS
+    and the harvested universe shrink by up to the group order. Sound for
+    equivariant protocols (the only ones that declare a spec — see
+    DESIGN.md); the sequential-spec and ground-truth stages run
+    unquotiented, since they explore the transformed program directly.
+    The symmetry identity is part of the warm-state instance key and of
+    every cache fingerprint, so quotiented runs never alias unquotiented
+    ones.
     """
     from ..core.cache import reset_process_cache
     from ..core.context import GhostContext
@@ -337,7 +358,12 @@ def verify_protocol(
         cache = warm.rcache
     cache = ObligationCache.ensure(cache)
     report = ProtocolReport(name, dict(parameters))
-    instance_key = (name, repr(sorted(parameters.items())), max_configs)
+    instance_key = (
+        name,
+        repr(sorted(parameters.items())),
+        max_configs,
+        symmetry.token() if symmetry is not None else None,
+    )
     if warm is not None:
         applications = warm.pipeline(
             ("apps",) + instance_key, lambda: list(applications)
@@ -353,6 +379,7 @@ def verify_protocol(
                             application.program,
                             [initial_config(initial_global)],
                             max_configs=max_configs,
+                            symmetry=symmetry,
                         ).with_context(GhostContext(GHOST))
 
                     if warm is not None:

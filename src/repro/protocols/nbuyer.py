@@ -41,6 +41,7 @@ __all__ = [
     "make_atomic",
     "make_measure",
     "make_sequentializations",
+    "make_symmetry",
     "spec_holds",
     "verify",
 ]
@@ -381,6 +382,38 @@ def make_module(
     )
 
 
+def make_symmetry(n: int):
+    """N-Buyer is symmetric in the buyer identity.
+
+    Buyer ids index ``contrib`` and the ``("buyer", i)`` quote channels
+    and appear as the ``i`` parameter of ``Contribute``.  Payloads (the
+    "req" token, price ints, contribution amounts) carry no ids, and the
+    seller and decision collector treat buyers uniformly, so the program,
+    its abstractions, the measure (weights by action name only), and
+    ``spec_holds`` (a sum over all buyers) commute with the renaming.
+    Group order: ``n!``.
+    """
+    from ..core import symmetry as sym
+
+    buyer = sym.atom("buyer")
+
+    def chkey(perm, key):
+        if isinstance(key, tuple):
+            return (key[0], buyer(perm, key[1]))
+        return key
+
+    return sym.SymmetrySpec(
+        name=f"nbuyer-n{n}",
+        sorts={"buyer": tuple(range(1, n + 1))},
+        global_rules={
+            "contrib": sym.fmap(buyer, sym.ID),
+            "CH": sym.fmap(chkey, sym.ID),
+        },
+        local_rules={"Contribute": {"i": buyer}},
+        ghost_var=GHOST,
+    )
+
+
 def spec_holds(final_global: Store, n: int) -> bool:
     """The functional correctness property: the order total is exactly the
     sum of all promised contributions, and covers the price iff ordered."""
@@ -403,12 +436,20 @@ def verify(
     resilience=None,
     cache=None,
     warm=None,
+    symmetry: bool = False,
 ) -> ProtocolReport:
-    """Full pipeline for N-Buyer."""
+    """Full pipeline for N-Buyer.  ``symmetry=True`` quotients the
+    exploration and the IS universes by :func:`make_symmetry`'s
+    buyer-permutation group."""
     applications = make_sequentializations(n, prices, contributions)
+    parameters = {"n": n, "prices": tuple(prices), "contributions": tuple(contributions)}
+    spec = None
+    if symmetry:
+        spec = make_symmetry(n)
+        parameters["symmetry"] = spec.name
     return verify_protocol(
         "n-buyer",
-        {"n": n, "prices": tuple(prices), "contributions": tuple(contributions)},
+        parameters,
         applications[0][1].program,
         applications,
         initial_global(n),
@@ -421,4 +462,5 @@ def verify(
         resilience=resilience,
         cache=cache,
         warm=warm,
+        symmetry=spec,
     )

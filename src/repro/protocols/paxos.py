@@ -53,6 +53,7 @@ __all__ = [
     "make_measure",
     "make_policy",
     "make_sequentialization",
+    "make_symmetry",
     "spec_holds",
     "verify",
 ]
@@ -604,6 +605,47 @@ def make_sequentialization(
     )
 
 
+def make_symmetry(
+    rounds: int, num_nodes: int, values: Sequence[int] = (1, 2)
+):
+    """Paxos is symmetric in node identity *and* in the proposed values.
+
+    Node ids live in the ``joinedNodes``/``voteInfo`` sets and the ``n``
+    parameters of ``Join``/``Vote``; values live in ``voteInfo``,
+    ``decision``, and the ``v`` parameters of ``Vote``/``Conclude``.
+    Rounds are ordered (``_max_voted`` compares them) and stay fixed.
+    Every gate and transition treats nodes and values opaquely —
+    membership tests, set insertion, quorum cardinality, equality — so
+    the program, its abstractions, the measure (weights by action name
+    only), and ``spec_holds`` (value equality) all commute with the
+    renaming. Group order: ``num_nodes! * len(values)!``.
+    """
+    from ..core import symmetry as sym
+
+    node = sym.atom("node")
+    value = sym.atom("value")
+    return sym.SymmetrySpec(
+        name=f"paxos-r{rounds}-n{num_nodes}",
+        sorts={
+            "node": tuple(range(1, num_nodes + 1)),
+            "value": tuple(values),
+        },
+        global_rules={
+            "joinedNodes": sym.fmap(sym.ID, sym.fset(node)),
+            "voteInfo": sym.fmap(
+                sym.ID, sym.opt(sym.tup(value, sym.fset(node)))
+            ),
+            "decision": sym.fmap(sym.ID, sym.opt(value)),
+        },
+        local_rules={
+            "Join": {"n": node},
+            "Vote": {"n": node, "v": value},
+            "Conclude": {"v": value},
+        },
+        ghost_var=GHOST,
+    )
+
+
 def spec_holds(final_global: Store, rounds: int) -> bool:
     """Figure 4(c), ``Paxos'``: no two rounds decide on conflicting values."""
     decision = final_global["decision"]
@@ -639,6 +681,7 @@ def verify_sampled(
     report = ProtocolReport(
         "paxos (sampled)",
         {"rounds": rounds, "nodes": num_nodes, "walks": walks, "seed": seed},
+        bounded=True,
     )
     init = initial_config(initial_global(rounds, num_nodes))
     with timed(report, "IS[Paxos]", tracer=tracer):
@@ -683,16 +726,25 @@ def verify(
     resilience=None,
     cache=None,
     warm=None,
+    symmetry: bool = False,
 ) -> ProtocolReport:
     """Full pipeline for Paxos.
 
     Ground-truth exploration of the concurrent program is exponential in
     rounds × nodes; it is off by default and exercised by a dedicated slow
-    test at small parameters."""
+    test at small parameters. ``symmetry=True`` quotients the exploration
+    and the IS universes by :func:`make_symmetry`'s node/value group —
+    the lever that turns R=2, N=3 from a random-walk bounded check
+    (:func:`verify_sampled`) into an exhaustive discharge."""
     application = make_sequentialization(rounds, num_nodes, values)
+    parameters = {"rounds": rounds, "nodes": num_nodes, "values": tuple(values)}
+    spec = None
+    if symmetry:
+        spec = make_symmetry(rounds, num_nodes, values)
+        parameters["symmetry"] = spec.name
     return verify_protocol(
         "paxos",
-        {"rounds": rounds, "nodes": num_nodes, "values": tuple(values)},
+        parameters,
         application.program,
         [("Paxos", application)],
         initial_global(rounds, num_nodes),
@@ -705,4 +757,5 @@ def verify(
         resilience=resilience,
         cache=cache,
         warm=warm,
+        symmetry=spec,
     )

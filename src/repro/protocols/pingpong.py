@@ -320,8 +320,13 @@ def verify(
     resilience=None,
     cache=None,
     warm=None,
+    symmetry: bool = False,
 ) -> ProtocolReport:
-    """Full pipeline for Ping-Pong."""
+    """Full pipeline for Ping-Pong.
+
+    Ping-Pong has two distinguished roles and no replicated identity, so
+    there is no nontrivial permutation group to quotient by; ``symmetry``
+    is accepted for pipeline uniformity and ignored."""
     application = make_sequentialization(rounds)
     return verify_protocol(
         "ping-pong",

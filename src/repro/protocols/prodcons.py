@@ -224,8 +224,13 @@ def verify(
     resilience=None,
     cache=None,
     warm=None,
+    symmetry: bool = False,
 ) -> ProtocolReport:
-    """Full pipeline for Producer-Consumer."""
+    """Full pipeline for Producer-Consumer.
+
+    The producer and consumer are distinguished roles and queue slots are
+    ordered, so there is no nontrivial permutation group to quotient by;
+    ``symmetry`` is accepted for pipeline uniformity and ignored."""
     application = make_sequentialization(bound)
     return verify_protocol(
         "producer-consumer",

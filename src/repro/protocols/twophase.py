@@ -43,6 +43,7 @@ __all__ = [
     "make_atomic",
     "make_measure",
     "make_sequentializations",
+    "make_symmetry",
     "spec_holds",
     "verify",
 ]
@@ -452,6 +453,43 @@ def _chan_key(kind: str, index_expr):
     return Call(f"{kind}Key", lambda i, _k=kind: (_k, i), (index_expr,))
 
 
+def make_symmetry(n: int):
+    """Two-phase commit is symmetric in the participant identity.
+
+    Participant ids index ``vote``/``finalized`` and appear in the
+    ``("req", i)``/``("dec", i)`` channel keys and the ``i`` parameter of
+    ``HandleRequest``/``HandleDecision``.  Message payloads ("req", the
+    vote strings, the decision strings) carry no ids, and the coordinator
+    (``CollectVotes``'s ``j`` is a plain counter) treats participants
+    uniformly, so gates, transitions, abstractions, the measure, and
+    ``spec_holds`` (universally quantified over participants) all commute
+    with the renaming.  Group order: ``n!``.
+    """
+    from ..core import symmetry as sym
+
+    part = sym.atom("part")
+
+    def chkey(perm, key):
+        if isinstance(key, tuple):
+            return (key[0], part(perm, key[1]))
+        return key
+
+    return sym.SymmetrySpec(
+        name=f"twophase-n{n}",
+        sorts={"part": tuple(range(1, n + 1))},
+        global_rules={
+            "vote": sym.fmap(part, sym.ID),
+            "finalized": sym.fmap(part, sym.ID),
+            "CH": sym.fmap(chkey, sym.ID),
+        },
+        local_rules={
+            "HandleRequest": {"i": part},
+            "HandleDecision": {"i": part},
+        },
+        ghost_var=GHOST,
+    )
+
+
 def spec_holds(final_global: Store, n: int) -> bool:
     """All participants finalized the coordinator's decision; COMMIT only
     if every participant voted yes."""
@@ -477,12 +515,20 @@ def verify(
     resilience=None,
     cache=None,
     warm=None,
+    symmetry: bool = False,
 ) -> ProtocolReport:
-    """Full pipeline for two-phase commit."""
+    """Full pipeline for two-phase commit.  ``symmetry=True`` quotients
+    the exploration and the IS universes by :func:`make_symmetry`'s
+    participant-permutation group."""
     applications = make_sequentializations(n)
+    parameters = {"n": n}
+    spec = None
+    if symmetry:
+        spec = make_symmetry(n)
+        parameters["symmetry"] = spec.name
     return verify_protocol(
         "two-phase-commit",
-        {"n": n},
+        parameters,
         applications[0][1].program,
         applications,
         initial_global(n),
@@ -495,4 +541,5 @@ def verify(
         resilience=resilience,
         cache=cache,
         warm=warm,
+        symmetry=spec,
     )

@@ -650,6 +650,7 @@ class ServeDaemon:
                     "example": row.example,
                     "status": row.status,
                     "ok": row.ok,
+                    "bounded": row.bounded,
                     "num_is": row.num_is,
                     "seconds": round(row.time_seconds, 6),
                 }
@@ -678,6 +679,7 @@ class ServeDaemon:
             "parameters": dict(report.parameters),
             "ok": report.ok,
             "status": report.status,
+            "bounded": report.bounded,
             "summary": report.summary(),
             "timings": {
                 k: round(v, 6) for k, v in report.timings.items()

@@ -80,3 +80,86 @@ def test_containers_share_one_hash_definition(data):
 def test_multiset_hash_matches_count_items(elements):
     m = Multiset(elements)
     assert hash(m) == unordered_items_hash(m.counts())
+
+
+# --------------------------------------------------------------------- #
+# structural_key: the cross-process total order
+# --------------------------------------------------------------------- #
+
+from repro.core.hashing import structural_key  # noqa: E402
+
+
+@settings(max_examples=100, deadline=None)
+@given(ITEMS, ITEMS)
+def test_structural_key_separates_unequal_stores(a, b):
+    sa, sb = Store(a), Store(b)
+    assert (structural_key(sa) == structural_key(sb)) == (sa == sb)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ITEMS, st.randoms())
+def test_structural_key_ignores_insertion_order(data, rng):
+    items = list(data.items())
+    rng.shuffle(items)
+    assert structural_key(Store(data)) == structural_key(Store(dict(items)))
+    assert structural_key(Multiset(items)) == structural_key(
+        Multiset(reversed(items))
+    )
+
+
+def test_structural_key_agrees_with_equality_across_types():
+    # The key must mirror ``==`` exactly: Python's numeric equality is
+    # cross-type (False == 0 == 0.0), everything else keys apart.
+    assert structural_key(True) == structural_key(1) == structural_key(1.0)
+    assert structural_key(False) == structural_key(0)
+    assert structural_key(0.5) != structural_key(0)
+    assert structural_key(1) != structural_key("1")
+    assert structural_key(float("inf")) != structural_key(float("-inf"))
+    assert structural_key(Store({"a": 1})) != structural_key(
+        FrozenDict({"a": 1})
+    )
+
+
+def test_structural_key_stable_across_hash_seeds():
+    """The regression the sort-key switch exists for: ``repr`` of
+    address-bearing values and ``hash`` of strings both vary across
+    processes / ``PYTHONHASHSEED``; ``structural_key`` must not. Two
+    subprocesses with different seeds must key an identical store spread
+    identically — this is what makes ``from_reachable``'s pool order
+    (and therefore shard boundaries and counterexample attribution)
+    reproducible across machines."""
+    import os
+    import subprocess
+    import sys
+
+    snippet = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.core.hashing import structural_key
+from repro.core.mapping import FrozenDict
+from repro.core.multiset import Multiset
+from repro.core.store import Store
+from repro.core.action import PendingAsync
+
+stores = [
+    Store({{"x": i, "who": chr(97 + i % 5), "bag": Multiset(["a", "b", "a"]),
+           "m": FrozenDict({{"k": frozenset({{i, 2}})}}),
+           "pa": Multiset([PendingAsync("Act", Store({{"i": i}}))])}})
+    for i in range(8)
+]
+for s in sorted(stores, key=structural_key):
+    print(structural_key(s))
+"""
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    code = snippet.format(src=os.path.abspath(src))
+    outputs = {
+        subprocess.run(
+            [sys.executable, "-c", code],
+            env={**os.environ, "PYTHONHASHSEED": seed},
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        for seed in ("0", "1", "424242")
+    }
+    assert len(outputs) == 1, "structural_key drifted across hash seeds"

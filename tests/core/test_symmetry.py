@@ -1,0 +1,323 @@
+"""Tests for symmetry specs and orbit canonicalization.
+
+The property suite pins the three facts the quotient's soundness rests
+on: canonicalization is *idempotent* (a representative is its own
+representative), *orbit-invariant* (every element of an orbit maps to the
+same representative), and *equality-preserving* (two stores canonicalize
+equal iff they lie in the same orbit). The combinator tests pin the
+rename algebra itself on every container shape the protocols use.
+"""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core import Multiset, PendingAsync, Store, initial_config
+from repro.core import symmetry as sym
+from repro.core.hashing import structural_key
+from repro.core.mapping import FrozenDict
+from repro.core.semantics import Config
+
+
+def _spec(n=3):
+    """A small node-symmetric spec over the shapes protocols use."""
+    node = sym.atom("node")
+    return sym.SymmetrySpec(
+        name=f"test-n{n}",
+        sorts={"node": tuple(range(1, n + 1))},
+        global_rules={
+            "owner": node,
+            "flags": sym.fmap(node, sym.ID),
+            "members": sym.fset(node),
+            "slot": sym.opt(node),
+            "pair": sym.tup(sym.ID, node),
+            "trail": sym.seq(node),
+            "inbox": sym.bag(node),
+        },
+        local_rules={"Act": {"i": node}},
+        ghost_var="ghost",
+    )
+
+
+def _perm_of(spec, mapping):
+    """The group element realizing ``mapping`` on the node sort."""
+    for perm in spec.group():
+        if perm["node"] == mapping:
+            return perm
+    raise AssertionError(f"no group element for {mapping}")
+
+
+# --------------------------------------------------------------------- #
+# Combinators
+# --------------------------------------------------------------------- #
+
+
+def test_combinators_rename_every_shape():
+    spec = _spec(3)
+    perm = _perm_of(spec, {1: 2, 2: 3, 3: 1})
+    assert sym.ID(perm, 41) == 41
+    assert sym.atom("node")(perm, 1) == 2
+    assert sym.atom("node")(perm, 99) == 99  # lenient out-of-domain
+    assert sym.atom("ghost-sort")(perm, 1) == 1  # lenient unknown sort
+    assert sym.opt(sym.atom("node"))(perm, None) is None
+    assert sym.opt(sym.atom("node"))(perm, 3) == 1
+    assert sym.tup(sym.ID, sym.atom("node"))(perm, ("k", 1)) == ("k", 2)
+    assert sym.seq(sym.atom("node"))(perm, (1, 2, 1)) == (2, 3, 2)
+    assert sym.fset(sym.atom("node"))(perm, frozenset({1, 3})) == frozenset(
+        {2, 1}
+    )
+    renamed = sym.fmap(sym.atom("node"), sym.ID)(
+        perm, FrozenDict({1: "a", 2: "b"})
+    )
+    assert renamed == FrozenDict({2: "a", 3: "b"})
+
+
+def test_bag_accumulates_colliding_multiplicities():
+    # A rename that merges two elements must add their counts, not
+    # overwrite one with the other.
+    collapse = sym.bag(lambda perm, v: "x")
+    out = collapse({}, Multiset(["a", "b", "b"]))
+    assert out == Multiset(["x", "x", "x"])
+
+
+# --------------------------------------------------------------------- #
+# SymmetrySpec
+# --------------------------------------------------------------------- #
+
+
+def test_group_order_and_identity_first():
+    spec = _spec(3)
+    group = spec.group()
+    assert len(group) == spec.order() == 6
+    identity = group[0]
+    assert all(k == v for k, v in identity["node"].items())
+    # Every element is a bijection on the domain.
+    for perm in group:
+        assert sorted(perm["node"].values()) == [1, 2, 3]
+
+
+def test_product_group_over_two_sorts():
+    spec = sym.SymmetrySpec(
+        name="two-sorts",
+        sorts={"node": (1, 2, 3), "value": ("a", "b")},
+    )
+    assert spec.order() == 12
+    assert len(spec.group()) == 12
+
+
+def test_token_is_deterministic_and_discriminating():
+    assert _spec(3).token() == _spec(3).token()
+    assert _spec(3).token() != _spec(2).token()
+
+
+# --------------------------------------------------------------------- #
+# Canonicalization properties
+# --------------------------------------------------------------------- #
+
+
+def _stores(n=3):
+    """A spread of stores exercising every declared shape, including
+    symmetric (fixed-point) and asymmetric ones."""
+    mk = lambda owner, flags, members, slot: Store(
+        {
+            "owner": owner,
+            "flags": FrozenDict(flags),
+            "members": frozenset(members),
+            "slot": slot,
+            "pair": ("k", owner),
+            "trail": (owner,),
+            "inbox": Multiset(sorted(members)),
+            "count": 7,
+            "ghost": Multiset(
+                [PendingAsync("Act", Store({"i": owner}))]
+            ),
+        }
+    )
+    out = []
+    for owner in range(1, n + 1):
+        out.append(mk(owner, {i: i == owner for i in range(1, n + 1)}, {owner}, None))
+    out.append(mk(1, {i: True for i in range(1, n + 1)}, set(range(1, n + 1)), 2))
+    out.append(mk(2, {i: False for i in range(1, n + 1)}, set(), None))
+    return out
+
+
+def test_canonical_is_idempotent():
+    canon = sym.Canonicalizer(_spec(3))
+    for store in _stores():
+        rep = canon.store(store)
+        assert canon.store(rep) == rep
+
+
+def test_canonical_is_orbit_invariant():
+    canon = sym.Canonicalizer(_spec(3))
+    for store in _stores():
+        rep = canon.store(store)
+        for member in canon.orbit(store):
+            assert canon.store(member) == rep
+
+
+def test_canonical_preserves_store_equality():
+    # Same orbit -> same representative; different orbit -> different.
+    canon = sym.Canonicalizer(_spec(3))
+    stores = _stores()
+    for a in stores:
+        orbit_a = set(canon.orbit(a))
+        for b in stores:
+            same_orbit = b in orbit_a
+            assert (canon.store(a) == canon.store(b)) == same_orbit
+
+
+def test_canonical_is_lexicographic_least():
+    canon = sym.Canonicalizer(_spec(3))
+    for store in _stores():
+        rep = canon.store(store)
+        keys = sorted(structural_key(m) for m in canon.orbit(store))
+        assert structural_key(rep) == keys[0]
+
+
+def test_symmetric_store_is_its_own_representative():
+    canon = sym.Canonicalizer(_spec(3))
+    fixed = Store(
+        {
+            "owner": 99,  # out of domain: untouched
+            "flags": FrozenDict({1: True, 2: True, 3: True}),
+            "members": frozenset({1, 2, 3}),
+            "slot": None,
+            "pair": ("k", 99),
+            "trail": (),
+            "inbox": Multiset([1, 2, 3]),
+            "count": 0,
+            "ghost": Multiset([]),
+        }
+    )
+    assert canon.store(fixed) is fixed
+
+
+def test_config_renamed_jointly_with_ghost_mirror():
+    """The pending multiset and the ghost bag inside the global must be
+    renamed by the *same* permutation, so admissibility filtering stays
+    exact on the quotient."""
+    canon = sym.Canonicalizer(_spec(3))
+    for store in _stores():
+        pending = store["ghost"]
+        rep = canon.config(Config(store, pending))
+        assert rep.glob["ghost"] == rep.pending
+
+
+def test_config_canonical_idempotent_and_orbit_invariant():
+    spec = _spec(3)
+    canon = sym.Canonicalizer(spec)
+    for store in _stores():
+        config = Config(store, store["ghost"])
+        rep = canon.config(config)
+        assert canon.config(rep) == rep
+        for pi in range(len(canon.perms)):
+            member = Config(
+                canon.rename_global(store, pi),
+                canon.rename_pending(config.pending, pi),
+            )
+            assert canon.config(member) == rep
+
+
+def test_local_orbit_closes_parameter_stores():
+    canon = sym.Canonicalizer(_spec(3))
+    orbit = canon.local_orbit("Act", Store({"i": 1}))
+    assert sorted(s["i"] for s in orbit) == [1, 2, 3]
+    # Actions without rules have singleton orbits.
+    assert canon.local_orbit("Other", Store({"i": 1})) == [Store({"i": 1})]
+
+
+def test_rename_is_group_action_on_stores():
+    """Renaming by pi then sigma equals renaming by the composite — spot
+    check on all pairs for one store (the memo key is (pi, var, value),
+    so each pair exercises the rename algebra, not the cache)."""
+    spec = _spec(3)
+    canon = sym.Canonicalizer(spec)
+    store = _stores()[0]
+    perms = canon.perms
+    for i, pi in enumerate(perms):
+        for j, sigma in enumerate(perms):
+            composite = {
+                "node": {k: sigma["node"][v] for k, v in pi["node"].items()}
+            }
+            k = next(
+                idx
+                for idx, p in enumerate(perms)
+                if p["node"] == composite["node"]
+            )
+            assert canon.rename_global(
+                canon.rename_global(store, i), j
+            ) == canon.rename_global(store, k)
+
+
+# --------------------------------------------------------------------- #
+# Quotiented universes
+# --------------------------------------------------------------------- #
+
+
+def test_quotiented_universe_folds_orbits_and_closes_locals():
+    from repro.core.universe import StoreUniverse
+
+    spec = _spec(3)
+    canon = sym.Canonicalizer(spec)
+    stores = _stores()
+    universe = StoreUniverse(stores, {"Act": [Store({"i": 1})]})
+    quotient = universe.quotiented(spec)
+    assert quotient.symmetry is spec
+    # Every original store's representative is present, nothing else.
+    assert set(quotient.globals_) == {canon.store(s) for s in stores}
+    # The locals pool is closed under the group: a canonical global may
+    # pair with any orbit member of a harvested local.
+    assert sorted(s["i"] for s in quotient.locals_for("Act")) == [1, 2, 3]
+    # Quotienting is idempotent at the universe level.
+    assert quotient.quotiented(spec) is quotient
+
+
+def test_quotiented_universe_deterministic_order():
+    from repro.core.universe import StoreUniverse
+
+    spec = _spec(3)
+    stores = _stores()
+    u1 = StoreUniverse(stores, {"Act": [Store({"i": 2})]}).quotiented(spec)
+    u2 = StoreUniverse(stores[::-1], {"Act": [Store({"i": 3})]}).quotiented(
+        spec
+    )
+    assert u1.globals_ == u2.globals_
+    assert u1.locals_for("Act") == u2.locals_for("Act")
+
+
+def test_from_reachable_quotient_matches_post_hoc_quotient():
+    """Quotienting *during* BFS (folding successors to representatives)
+    must harvest exactly the representatives of the unquotiented
+    universe's stores — equivariance makes the two commute."""
+    from repro.core.universe import StoreUniverse
+    from repro.protocols import twophase
+
+    apps = twophase.make_sequentializations(2)
+    program = apps[0][1].program
+    init = initial_config(twophase.initial_global(2))
+    spec = twophase.make_symmetry(2)
+    canon = sym.Canonicalizer(spec)
+
+    plain = StoreUniverse.from_reachable(program, [init])
+    quotient = StoreUniverse.from_reachable(program, [init], symmetry=spec)
+    assert set(quotient.globals_) == {canon.store(g) for g in plain.globals_}
+    assert len(quotient.globals_) < len(plain.globals_)
+
+
+def test_from_reachable_closes_locals_pools_under_group():
+    """The quotient BFS fixes one permutation per configuration, so the
+    raw locals harvest holds one orbit member per (config, PA) pair; the
+    group closure must restore exactly the unquotiented pools — without
+    it, a counterexample pairing a canonical global with a non-harvested
+    orbit member would be silently skipped."""
+    from repro.core.universe import StoreUniverse
+    from repro.protocols import paxos
+
+    app = paxos.make_sequentialization(1, 2)
+    init = initial_config(paxos.initial_global(1, 2))
+    spec = paxos.make_symmetry(1, 2)
+    plain = StoreUniverse.from_reachable(app.program, [init])
+    quotient = StoreUniverse.from_reachable(app.program, [init], symmetry=spec)
+    for action, pool in plain.locals_by_action.items():
+        assert set(quotient.locals_for(action)) == set(pool), action

@@ -125,3 +125,71 @@ class TestContexts:
         assert universe.context_cache_stats.misses == 1
         assert not universe.pair_ok(Store(), "A", Store(), "A", Store())
         assert universe.context_cache_stats.hits == 1
+
+
+class TestSampledProperties:
+    """Property suite for the deterministic down-sampler: the result
+    never exceeds the limit (when the keep-set fits), every kept global
+    is retained, and the selection is a pure function of the *set* of
+    globals — input order cannot leak through."""
+
+    def _globals(self, n=97):
+        return [Store({"x": i, "y": i % 5}) for i in range(n)]
+
+    def test_size_never_exceeds_limit(self):
+        globals_ = self._globals()
+        for limit in (1, 2, 3, 7, 10, 31, 96, 97, 200):
+            sampled = StoreUniverse(globals_).sampled(limit)
+            assert len(sampled.globals_) <= limit
+            assert len(sampled.globals_) >= min(limit, len(globals_))
+
+    def test_size_with_keep_never_exceeds_limit(self):
+        globals_ = self._globals()
+        keep = lambda g: g["x"] % 10 == 0  # 10 marked globals
+        for limit in (10, 11, 15, 50, 96):
+            sampled = StoreUniverse(globals_).sampled(limit, keep=keep)
+            assert len(sampled.globals_) <= limit
+            assert all(g in sampled.globals_ for g in globals_ if keep(g))
+
+    def test_oversized_keep_set_is_retained_verbatim(self):
+        globals_ = self._globals()
+        keep = lambda g: g["x"] < 20
+        sampled = StoreUniverse(globals_).sampled(5, keep=keep)
+        assert sorted(g["x"] for g in sampled.globals_) == list(range(20))
+
+    def test_deterministic_under_shuffle(self):
+        import random
+
+        globals_ = self._globals()
+        baseline = StoreUniverse(globals_).sampled(13).globals_
+        for seed in range(5):
+            shuffled = list(globals_)
+            random.Random(seed).shuffle(shuffled)
+            assert StoreUniverse(shuffled).sampled(13).globals_ == baseline
+
+    def test_keep_deterministic_under_shuffle(self):
+        import random
+
+        globals_ = self._globals()
+        keep = lambda g: g["y"] == 3
+        baseline = StoreUniverse(globals_).sampled(17, keep=keep).globals_
+        shuffled = list(globals_)
+        random.Random(42).shuffle(shuffled)
+        assert (
+            StoreUniverse(shuffled).sampled(17, keep=keep).globals_
+            == baseline
+        )
+
+    def test_propagates_locals_context_and_symmetry(self):
+        from repro.protocols import twophase
+
+        spec = twophase.make_symmetry(2)
+        universe = StoreUniverse(
+            self._globals(),
+            {"A": [Store({"i": 1})]},
+            symmetry=spec,
+        ).with_context(GhostContext("g"))
+        sampled = universe.sampled(9)
+        assert sampled.locals_for("A") == [Store({"i": 1})]
+        assert isinstance(sampled.context, GhostContext)
+        assert sampled.symmetry is spec

@@ -179,6 +179,37 @@ def test_nondet_round_count_variant():
 def test_sampled_universe_r2_n3():
     report = paxos.verify_sampled(rounds=2, num_nodes=3, walks=60, seed=4)
     assert report.ok, report.summary()
+    # A sampled PASS is a bounded check and must say so.
+    assert report.bounded
+    assert "bounded" in report.summary()
+
+
+def test_exhaustive_verify_is_not_bounded():
+    report = paxos.verify(rounds=1, num_nodes=1, ground_truth=False)
+    assert report.ok
+    assert not report.bounded
+    assert "bounded" not in report.summary()
+
+
+def test_symmetry_spec_declares_node_and_value_sorts():
+    spec = paxos.make_symmetry(2, 3)
+    assert spec.order() == 12  # 3! nodes x 2! values
+    assert spec.sorts["node"] == (1, 2, 3)
+    assert spec.sorts["value"] == (1, 2)
+
+
+@pytest.mark.slow
+def test_exhaustive_quotiented_r2_n3():
+    """The headline the symmetry quotient exists for: Paxos at R=2, N=3
+    discharged over the *full* reachable universe (folded to orbit
+    representatives, |G| = 12) — previously only checkable as a
+    random-walk bounded instance. ~2-3 minutes serial."""
+    report = paxos.verify(
+        rounds=2, num_nodes=3, ground_truth=False, symmetry=True
+    )
+    assert report.status == "OK", report.summary()
+    assert not report.bounded
+    assert report.parameters["symmetry"] == "paxos-r2-n3"
 
 
 def test_spec_accepts_partial_decisions():
