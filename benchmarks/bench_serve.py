@@ -122,12 +122,13 @@ def measure_cold(protocol: str, runs: int) -> list:
 class EmbeddedDaemon:
     """A ``ServeDaemon`` on a background thread, for benchmarking."""
 
-    def __init__(self, state_dir: str):
+    def __init__(self, state_dir: str, **config):
         from repro.serve import ServeConfig
         from repro.serve.daemon import ServeDaemon
 
         self.daemon = ServeDaemon(
-            ServeConfig(host="127.0.0.1", port=0, state_dir=state_dir)
+            ServeConfig(host="127.0.0.1", port=0, state_dir=state_dir,
+                        **config)
         )
         self.thread = threading.Thread(
             target=lambda: asyncio.run(self.daemon.run()), daemon=True
@@ -218,6 +219,73 @@ def run_bench(protocols, cold_runs: int, warm_requests: int) -> dict:
 
 
 # ------------------------------------------------------------------ #
+# Sandbox isolation overhead
+# ------------------------------------------------------------------ #
+
+
+def run_sandbox_overhead(requests: int = 30) -> dict:
+    """Warm pingpong round-trips, in-process vs subprocess sandbox.
+
+    Both sides are the same daemon, same request, same HTTP submit+poll
+    loop; the only difference is the isolation level, so the p50 delta
+    *is* the sandbox tax (JSONL protocol hop, span forwarding, the
+    supervised pipe). The acceptance gate: ≤ 15% on the warm path.
+    """
+    payload = {"kind": "verify", "protocol": "pingpong",
+               "params": {"rounds": 2}}
+    sides = {}
+    for mode, config in (
+        ("inprocess", {}),
+        ("sandbox", {"sandbox": True}),
+    ):
+        with tempfile.TemporaryDirectory(prefix=f"bench-{mode}-") as state:
+            with EmbeddedDaemon(state, **config) as base:
+                print(f"bench_serve: sandbox-overhead {mode} "
+                      f"x{requests} ...", flush=True)
+                # Two warm-ups: populate the rcache, then serve one
+                # fully-cached request so timing starts at steady state.
+                for _ in range(2):
+                    _latency, detail = _run_to_completion(base, payload)
+                    if detail["status"] != "done":
+                        raise RuntimeError(
+                            f"{mode} warm-up ended {detail['status']}"
+                        )
+                latencies = []
+                for _ in range(requests):
+                    latency, detail = _run_to_completion(base, payload)
+                    if detail["result"]["obligations"]["executed"]:
+                        raise RuntimeError(f"{mode}: warm run re-executed")
+                    latencies.append(latency)
+                sides[mode] = {
+                    "requests": requests,
+                    "p50_seconds": round(_percentile(latencies, 0.50), 6),
+                    "p99_seconds": round(_percentile(latencies, 0.99), 6),
+                    "mean_seconds": round(statistics.fmean(latencies), 6),
+                }
+    overhead = (
+        sides["sandbox"]["p50_seconds"]
+        / max(sides["inprocess"]["p50_seconds"], 1e-9)
+        - 1.0
+    )
+    section = {
+        "benchmark": "subprocess sandbox overhead (warm pingpong)",
+        "inprocess": sides["inprocess"],
+        "sandbox": sides["sandbox"],
+        "overhead_fraction": round(overhead, 4),
+        "gate_max_fraction": 0.15,
+        "verdict": overhead <= 0.15,
+    }
+    print(
+        f"bench_serve: sandbox overhead p50 "
+        f"{sides['inprocess']['p50_seconds']}s -> "
+        f"{sides['sandbox']['p50_seconds']}s "
+        f"({overhead * 100:+.1f}%, gate +15%)",
+        flush=True,
+    )
+    return section
+
+
+# ------------------------------------------------------------------ #
 # Sustained load against an external daemon
 # ------------------------------------------------------------------ #
 
@@ -301,7 +369,22 @@ def main(argv=None) -> int:
         default=None,
         help="base URL of a running daemon (--load mode)",
     )
+    parser.add_argument(
+        "--sandbox-overhead",
+        action="store_true",
+        help="measure subprocess-sandbox overhead on warm round-trips; "
+        "writes the 'sandbox' section of BENCH_obligations.json",
+    )
     args = parser.parse_args(argv)
+
+    if args.sandbox_overhead:
+        section = run_sandbox_overhead()
+        output = args.output or ROOT / "BENCH_obligations.json"
+        document = json.loads(output.read_text()) if output.exists() else {}
+        document["sandbox"] = section
+        output.write_text(json.dumps(document, indent=2) + "\n")
+        print(f"bench_serve: wrote {output}")
+        return 0 if section["verdict"] else 1
 
     if args.load is not None:
         if not args.url:

@@ -179,7 +179,7 @@ def _print_cache_stats(cache, reports) -> None:
     print(
         f"rcache: hits={stats.hits} misses={stats.misses} "
         f"invalidations={stats.invalidations} stores={stats.stores} "
-        f"uncacheable={stats.uncacheable}"
+        f"uncacheable={stats.uncacheable} write_errors={stats.write_errors}"
     )
     total = cached = resumed = 0
     for report in reports:
@@ -362,11 +362,58 @@ def _cmd_serve(args) -> int:
             jobs=args.jobs,
             timeout_per_obligation=args.timeout_per_obligation,
             drain_grace=args.drain_grace,
+            sandbox=True if args.sandbox else None,
+            sandbox_max_rss_mb=args.sandbox_max_rss_mb,
+            sandbox_cpu_seconds=args.sandbox_cpu_seconds,
+            sandbox_recycle_after=args.sandbox_recycle_after,
+            sandbox_heartbeat_grace=args.sandbox_heartbeat_grace,
+            sandbox_max_respawns=args.sandbox_max_respawns,
+            sandbox_breaker_threshold=args.sandbox_breaker_threshold,
+            sandbox_fallback=True if args.sandbox_fallback else None,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     return run_daemon(config)
+
+
+def _cmd_cache(parser, args) -> int:
+    """``repro cache stats|gc`` — inspect or trim the result cache."""
+    from .engine.rcache import CACHE_MAX_MB_ENV, ObligationCache
+
+    directory = args.dir or os.environ.get("REPRO_CACHE")
+    if not directory:
+        parser.error("cache commands need --dir DIR (or $REPRO_CACHE)")
+    cache = ObligationCache(directory, max_mb=args.max_mb)
+    info = cache.size_info()
+    mb = info["bytes"] / (1024 * 1024)
+    quota = info["max_mb"]
+    if args.action == "stats":
+        print(
+            f"rcache: dir={cache.directory} entries={info['entries']} "
+            f"bytes={info['bytes']} mb={mb:.2f} "
+            f"quota_mb={quota if quota is not None else 'none'}"
+        )
+        if quota is None:
+            print(
+                f"rcache: no quota configured (set {CACHE_MAX_MB_ENV} "
+                f"or pass --max-mb)"
+            )
+        return 0
+    # gc
+    if quota is None:
+        parser.error(
+            f"gc needs a quota: pass --max-mb or set {CACHE_MAX_MB_ENV}"
+        )
+    outcome = cache.gc(max_mb=quota)
+    after = cache.size_info()
+    print(
+        f"rcache: gc removed={outcome['removed']} "
+        f"freed_bytes={outcome['freed_bytes']} "
+        f"entries={after['entries']} bytes={after['bytes']} "
+        f"quota_mb={quota}"
+    )
+    return 0
 
 
 def _cmd_list(_args) -> int:
@@ -579,11 +626,92 @@ def main(argv=None) -> int:
         help="seconds SIGTERM waits for the in-flight job to salvage "
         "itself before exiting (default: 5)",
     )
+    serve.add_argument(
+        "--sandbox",
+        action="store_true",
+        help="execute jobs in a supervised subprocess sandbox (crash "
+        "isolation; default: $REPRO_SERVE_SANDBOX or off)",
+    )
+    serve.add_argument(
+        "--sandbox-max-rss-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="RLIMIT_AS ceiling for the sandbox worker",
+    )
+    serve.add_argument(
+        "--sandbox-cpu-seconds",
+        type=int,
+        default=None,
+        metavar="S",
+        help="RLIMIT_CPU ceiling for the sandbox worker",
+    )
+    serve.add_argument(
+        "--sandbox-recycle-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="replace the sandbox worker after N jobs (default: 64)",
+    )
+    serve.add_argument(
+        "--sandbox-heartbeat-grace",
+        type=float,
+        default=None,
+        metavar="S",
+        help="kill a sandbox worker silent for S seconds (default: 20)",
+    )
+    serve.add_argument(
+        "--sandbox-max-respawns",
+        type=int,
+        default=None,
+        metavar="N",
+        help="respawn+retry attempts per job before the circuit "
+        "breaker decides (default: 2)",
+    )
+    serve.add_argument(
+        "--sandbox-breaker-threshold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="consecutive crashes of one request that open its "
+        "circuit breaker (default: 2)",
+    )
+    serve.add_argument(
+        "--sandbox-fallback",
+        action="store_true",
+        help="after the ladder is exhausted, run the job in-process "
+        "and flag the report (default: typed CRASHED verdict)",
+    )
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or garbage-collect the obligation result cache",
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "gc"),
+        help="stats: entry count / bytes / quota; gc: evict "
+        "least-recently-used entries until under the quota",
+    )
+    cache.add_argument(
+        "--dir",
+        metavar="DIR",
+        default=None,
+        help="cache directory (default: $REPRO_CACHE)",
+    )
+    cache.add_argument(
+        "--max-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="size quota in MiB (default: $REPRO_CACHE_MAX_MB)",
+    )
     sub.add_parser("list", help="list protocols")
     args = parser.parse_args(argv)
     if args.command in ("table1", "verify"):
         args.resilience_config = _make_resilience(parser, args)
         args.cache_config = _make_cache(parser, args)
+    if args.command == "cache":
+        return _cmd_cache(parser, args)
     try:
         return {
             "table1": _cmd_table1,

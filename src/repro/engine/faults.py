@@ -37,6 +37,21 @@ Injectors are installed two ways, both inherited by ``fork`` workers:
 * environment — ``REPRO_FAULTS="I1=raise:2;LM[A|B]=hang"`` (``key=mode``
   or ``key=mode:times``), consulted whenever no injector is installed.
 
+Filesystem faults
+-----------------
+Beyond obligation faults, the injector models *disk* failures for the
+persistence layers (``repro.engine.rcache``, ``repro.engine.journal``,
+``repro.serve.jobs``). A spec whose mode is one of :data:`_FS_MODES` —
+``enospc`` (disk full), ``eio`` (I/O error), ``eperm`` (permission
+denied), ``torn`` (partial write lands on disk, then the write errors) —
+is keyed by a *write site* rather than an obligation key
+(``rcache.store``, ``rcache.index``, ``journal.append``,
+``jobs.append``) and consulted through :func:`maybe_fs_fault` at the
+moment of the write. ``times`` bounds firings per process via an
+injector-internal counter (writes have no scheduler attempt number), so
+``REPRO_FAULTS="rcache.store=enospc:4"`` models transient disk pressure
+that clears after four failed stores.
+
 The injector is a pure test/ops harness: with no injector installed and
 ``REPRO_FAULTS`` unset, :func:`active_injector` returns ``None`` and the
 engine's hot path pays a single module-global read per obligation.
@@ -44,6 +59,7 @@ engine's hot path pays a single module-global read per obligation.
 
 from __future__ import annotations
 
+import errno
 import os
 import time
 from dataclasses import dataclass
@@ -56,6 +72,8 @@ __all__ = [
     "install",
     "clear",
     "active_injector",
+    "maybe_fs_fault",
+    "fs_error",
 ]
 
 #: Environment variable holding fault specs (see module docstring).
@@ -66,6 +84,20 @@ FAULTS_ENV = "REPRO_FAULTS"
 FAULT_EXIT_CODE = 43
 
 _MODES = ("hang", "raise", "exit", "interrupt")
+
+#: Filesystem fault modes (see "Filesystem faults" in the module docstring).
+_FS_MODES = ("enospc", "eio", "eperm", "torn")
+
+#: errno carried by the injected OSError per fs mode. ``torn`` raises EIO
+#: *after* a partial write reaches the final path — the caller performed
+#: damage before learning of the failure, which is what distinguishes it
+#: from a clean ``eio``.
+_FS_ERRNO = {
+    "enospc": errno.ENOSPC,
+    "eio": errno.EIO,
+    "eperm": errno.EACCES,
+    "torn": errno.EIO,
+}
 
 
 class FaultError(RuntimeError):
@@ -90,9 +122,10 @@ class FaultSpec:
     seconds: float = 3600.0
 
     def __post_init__(self) -> None:
-        if self.mode not in _MODES:
+        if self.mode not in _MODES + _FS_MODES:
             raise ValueError(
-                f"unknown fault mode {self.mode!r}; expected one of {_MODES}"
+                f"unknown fault mode {self.mode!r}; "
+                f"expected one of {_MODES + _FS_MODES}"
             )
         if self.times < 1:
             raise ValueError("times must be >= 1")
@@ -103,6 +136,10 @@ class FaultInjector:
 
     def __init__(self, specs: Iterable[FaultSpec] = ()):
         self.by_key: Dict[str, FaultSpec] = {}
+        # fs faults have no scheduler attempt number; firings are counted
+        # here so ``times`` still bounds them (per process — a respawned
+        # sandbox worker re-arms its env-configured fs faults).
+        self._fs_fired: Dict[str, int] = {}
         for spec in specs:
             self.by_key[spec.key] = spec
 
@@ -139,7 +176,7 @@ class FaultInjector:
         place an ``exit`` fault is honoured literally.
         """
         spec = self.by_key.get(key)
-        if spec is None or attempt >= spec.times:
+        if spec is None or spec.mode in _FS_MODES or attempt >= spec.times:
             return
         if spec.mode == "hang":
             time.sleep(spec.seconds)
@@ -150,6 +187,22 @@ class FaultInjector:
             os._exit(FAULT_EXIT_CODE)
         # "raise", and "exit" demoted in the parent process.
         raise FaultError(f"injected {spec.mode} fault on {key}")
+
+    def fs_fault(self, key: str) -> Optional[str]:
+        """The fs fault mode due at write site ``key``, or ``None``.
+
+        Consuming: each call that returns a mode burns one of the spec's
+        ``times`` firings. The *caller* manufactures the OSError (via
+        :func:`fs_error`) so the injector never touches the disk itself.
+        """
+        spec = self.by_key.get(key)
+        if spec is None or spec.mode not in _FS_MODES:
+            return None
+        fired = self._fs_fired.get(key, 0)
+        if fired >= spec.times:
+            return None
+        self._fs_fired[key] = fired + 1
+        return spec.mode
 
     def __repr__(self) -> str:
         return f"FaultInjector({sorted(self.by_key)})"
@@ -185,3 +238,18 @@ def active_injector() -> Optional[FaultInjector]:
     if _ENV_CACHE[0] != value:
         _ENV_CACHE = (value, FaultInjector.from_env(value))
     return _ENV_CACHE[1]
+
+
+def maybe_fs_fault(key: str) -> Optional[str]:
+    """Ask the active injector (if any) for an fs fault at write site
+    ``key``. The common no-injector case is one global read."""
+    injector = active_injector()
+    if injector is None:
+        return None
+    return injector.fs_fault(key)
+
+
+def fs_error(mode: str, path: str = "") -> OSError:
+    """Manufacture the OSError an fs fault ``mode`` stands in for."""
+    code = _FS_ERRNO.get(mode, errno.EIO)
+    return OSError(code, f"injected {mode}: {os.strerror(code)}", path or None)

@@ -35,6 +35,17 @@ write-ahead log.
 
 Only genuinely completed outcomes are journaled. Timeouts, crashes, and
 fail-fast skips are not: a resumed run should re-attempt them.
+
+**Disk faults degrade, never abort.** A journal append (or fsync) that
+fails with ``OSError`` — disk full, I/O error, revoked permissions —
+must not kill a verification that is otherwise succeeding: the journal
+*degrades* (``write_errors`` counts the failures, ``degraded`` latches,
+further appends become no-ops) and the run continues without
+checkpoints, exactly as if ``--checkpoint`` had not been passed. The
+cost is bounded and sound: a later resume re-executes what was never
+journaled; it can never load a wrong verdict, because nothing was
+written. ``discharge()`` surfaces the degradation as a
+``journal-write-error`` resilience event.
 """
 
 from __future__ import annotations
@@ -51,6 +62,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.refinement import CheckResult
+from . import faults
 
 __all__ = [
     "JOURNAL_SCHEMA",
@@ -103,6 +115,18 @@ def _slug(label: Optional[str]) -> str:
     return re.sub(r"[^A-Za-z0-9._-]+", "-", label).strip("-")
 
 
+def _has_journal_header(path) -> bool:
+    """True when the file's first line parses as a journal header —
+    i.e. it is (some run's) genuine journal, not a torn/empty stub."""
+    try:
+        with open(path, "rb") as handle:
+            first = handle.readline()
+        header = json.loads(first.decode("utf-8"))
+    except Exception:
+        return False
+    return isinstance(header, dict) and header.get("schema") == JOURNAL_SCHEMA
+
+
 @dataclass
 class JournaledOutcome:
     """One record loaded from a journal: enough to rebuild the
@@ -135,6 +159,11 @@ class CheckpointJournal:
         self._handle = None
         self._last_fsync = 0.0
         self.appended = 0
+        #: Failed journal writes, each degraded to a skipped checkpoint.
+        self.write_errors = 0
+        #: Latched after the first failed write: the journal stops trying
+        #: (a half-written file must not keep absorbing partial records).
+        self.degraded = False
 
     # ------------------------------------------------------------------ #
     # Opening and loading
@@ -158,14 +187,38 @@ class CheckpointJournal:
         fingerprint mismatches raises :class:`StaleJournalError`.
         """
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
         name = _slug(label) or f"run-{fingerprint[:12]}"
         path = directory / f"{name}.jsonl"
         journal = cls(path, fingerprint, label=label or "")
+        try:
+            directory.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            journal._fail()
+            return journal, {}
         completed: Dict[str, JournaledOutcome] = {}
         if resume and path.exists():
-            completed = cls.load(path, fingerprint)
-        journal._start(resume=bool(completed), num_obligations=num_obligations)
+            try:
+                completed = cls.load(path, fingerprint)
+            except OSError:
+                # An unreadable journal (EIO, revoked permissions) is a
+                # missing journal, not a fatal one: resume from zero.
+                completed = {}
+            except StaleJournalError:
+                # Only a *parseable* header deserves the loud refusal —
+                # it proves a genuine journal of some other run. An
+                # empty or headerless file is this run's own disk-fault
+                # artifact (the header append died on ENOSPC/EIO/torn);
+                # degrading to resume-from-zero only re-executes, so it
+                # is always sound.
+                if _has_journal_header(path):
+                    raise
+                completed = {}
+        try:
+            journal._start(
+                resume=bool(completed), num_obligations=num_obligations
+            )
+        except OSError:
+            journal._fail()
         return journal, completed
 
     @classmethod
@@ -263,7 +316,7 @@ class CheckpointJournal:
         must re-attempt them; resumed ones are already on disk).
         """
         result = getattr(outcome, "result", None)
-        if result is None or getattr(outcome, "resumed", False):
+        if result is None or getattr(outcome, "resumed", False) or self.degraded:
             return False
         record = {
             "key": outcome.key,
@@ -278,22 +331,55 @@ class CheckpointJournal:
                 else None
             ),
         }
-        self._write_line(record)
+        try:
+            self._write_line(record)
+        except OSError:
+            self._fail()
+            return False
         self.appended += 1
         return True
 
+    def _fail(self) -> None:
+        """Degrade after a failed write: count it, latch, stop writing."""
+        self.write_errors += 1
+        self.degraded = True
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
+
     def _write_line(self, payload: dict) -> None:
         if self._handle is None:
+            if self.degraded:
+                return
             raise RuntimeError("journal is closed")
-        self._handle.write(json.dumps(payload) + "\n")
+        text = json.dumps(payload) + "\n"
+        mode = faults.maybe_fs_fault("journal.append")
+        if mode is not None:
+            if mode == "torn":
+                # Land a partial record (no newline) before failing —
+                # the torn tail a resume must tolerate.
+                try:
+                    self._handle.write(text[: max(1, len(text) // 2)])
+                    self._handle.flush()
+                except OSError:
+                    pass
+            raise faults.fs_error(mode, str(self.path))
+        self._handle.write(text)
 
     def sync(self) -> None:
         """Flush to the OS *and* fsync — called at wave boundaries and on
         interrupt, so a kill between waves never loses a completed wave."""
         if self._handle is None:
             return
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        except OSError:
+            self._fail()
+            return
         self._last_fsync = time.perf_counter()
 
     def maybe_sync(self, min_interval: float = 1.0) -> None:
@@ -308,15 +394,22 @@ class CheckpointJournal:
         """
         if self._handle is None:
             return
-        self._handle.flush()
-        if time.perf_counter() - self._last_fsync >= min_interval:
-            os.fsync(self._handle.fileno())
-            self._last_fsync = time.perf_counter()
+        try:
+            self._handle.flush()
+            if time.perf_counter() - self._last_fsync >= min_interval:
+                os.fsync(self._handle.fileno())
+                self._last_fsync = time.perf_counter()
+        except OSError:
+            self._fail()
 
     def close(self) -> None:
         if self._handle is not None:
             self.sync()
-            self._handle.close()
+            if self._handle is not None:
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
             self._handle = None
 
     def __repr__(self) -> str:

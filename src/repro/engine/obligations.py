@@ -38,7 +38,7 @@ from ..core.refinement import COUNTEREXAMPLE_KEEP, CheckResult
 from ..core.sequentialize import ISApplication, ISResult
 from ..core.universe import StoreUniverse
 from ..diagnose.witness import SkippedMarker, TimeoutMarker
-from .resilience import DischargeInterrupted, ResilienceConfig
+from .resilience import DischargeInterrupted, ResilienceConfig, ResilienceEvent
 
 __all__ = [
     "Obligation",
@@ -678,6 +678,21 @@ def discharge(
         max(0, o.attempts - 1) for o in outcomes.values()
     )
     merged.resilience_events = list(getattr(scheduler, "last_events", ()) or ())
+    if journal is not None and journal.write_errors:
+        # Surface checkpoint degradation alongside scheduler recovery:
+        # the run completed, but a resume would re-execute unjournaled
+        # outcomes (see repro.engine.journal, "Disk faults degrade").
+        merged.resilience_events.append(
+            ResilienceEvent(
+                kind="journal-write-error",
+                key="journal",
+                at=_time.perf_counter(),
+                detail=(
+                    f"{journal.write_errors} failed journal write(s); "
+                    f"checkpointing degraded for {journal.path.name}"
+                ),
+            )
+        )
     if tracer is not None:
         cache_events = (
             cache.events[cache_events_before:] if cache is not None else ()

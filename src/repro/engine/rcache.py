@@ -45,6 +45,28 @@ store) and is never consulted to answer a lookup; corrupt or missing
 entries degrade to misses, never to wrong verdicts. Entry writes are
 atomic (temp file + rename), so a killed run leaves no torn objects.
 
+**Disk faults degrade, never abort.** Every write path — entry store,
+index flush, even creating the cache directory — tolerates ``OSError``
+(``ENOSPC``, ``EIO``, permissions): the failed write is counted in
+``stats.write_errors``, recorded as a ``write_error`` cache event (so it
+surfaces as an ``rcache:write_error`` span and in ``--cache-stats``),
+and the run continues with the entry simply *not cached*. This is sound
+for the same reason a cold cache is sound: a missing entry can only
+cause re-execution, never a wrong verdict (see DESIGN, "Why degraded
+writes preserve soundness").
+
+**Quota.** ``REPRO_CACHE_MAX_MB`` (or ``ObligationCache(..., max_mb=)``)
+caps the objects directory; :meth:`gc` evicts least-recently-*used*
+entries first (hits refresh mtime) until under the cap, and stores
+auto-GC periodically when a quota is set. ``repro cache stats|gc``
+exposes both from the CLI.
+
+**Sharing.** Two daemons may share one cache directory: the identity
+index is flushed under an advisory ``flock`` after merging the on-disk
+index (last writer wins per identity, nobody tears the file), and entry
+objects are content-addressed so concurrent writers racing on the same
+fingerprint write identical bytes.
+
 Cache hit/miss/invalidation events are recorded unconditionally on the
 cache object and turned into zero-duration ``rcache`` spans *after*
 discharge, preserving the tracing layer's no-perturbation guarantee.
@@ -73,10 +95,17 @@ from ..core.mapping import FrozenDict
 from ..core.multiset import Multiset
 from ..core.program import Program
 from ..core.store import Store, StoreInterner
+from . import faults
 from .journal import JournaledOutcome
+
+try:  # advisory inter-process locking; absent on non-POSIX platforms
+    import fcntl
+except ImportError:  # pragma: no cover - POSIX-only dependency
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "RCACHE_SCHEMA",
+    "CACHE_MAX_MB_ENV",
     "Unfingerprintable",
     "stable_digest",
     "universe_fingerprint",
@@ -89,6 +118,12 @@ __all__ = [
 #: Bump on any change to the fingerprint recipe or the entry layout —
 #: it is hashed into every fingerprint, so old entries become misses.
 RCACHE_SCHEMA = "repro.engine/rcache/v1"
+
+#: Environment variable holding the cache size quota in megabytes.
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
+#: Stores between automatic GC passes when a quota is configured.
+_GC_EVERY = 32
 
 #: Recursion bound for the structural hasher. Deep enough for every
 #: closure/action graph in the repo; a runaway structure degrades to
@@ -487,7 +522,7 @@ class CacheEvent:
     """One cache decision, recorded unconditionally (spans are derived
     from these after discharge — tracing never perturbs caching)."""
 
-    kind: str  # hit | miss | invalidation | store | uncacheable
+    kind: str  # hit | miss | invalidation | store | uncacheable | write_error
     key: str
     fingerprint: str = ""
     at: float = 0.0
@@ -503,6 +538,12 @@ class RcacheStats:
     invalidations: int = 0
     stores: int = 0
     uncacheable: int = 0
+    #: Failed disk writes (entry store, index flush, directory create),
+    #: each degraded to a non-store instead of aborting the run.
+    write_errors: int = 0
+    #: Entries evicted by :meth:`ObligationCache.gc` (LRU quota).
+    gc_removed: int = 0
+    gc_runs: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -525,13 +566,33 @@ class ObligationCache:
     accumulate across them and callers snapshot/slice per discharge.
     """
 
-    def __init__(self, directory):
+    def __init__(self, directory, max_mb: Optional[float] = None):
         self.directory = Path(directory)
         self.objects_dir = self.directory / "objects"
-        self.objects_dir.mkdir(parents=True, exist_ok=True)
         self.index_path = self.directory / "index.json"
+        self.lock_path = self.directory / ".lock"
         self.stats = RcacheStats()
         self.events: List[CacheEvent] = []
+        #: Set when the cache directory itself cannot be created — every
+        #: lookup is then a miss and every store a counted write_error.
+        self.disabled = False
+        #: flush()/gc() attempts that could not take the advisory lock.
+        self.lock_timeouts = 0
+        if max_mb is None:
+            raw = os.environ.get(CACHE_MAX_MB_ENV, "").strip()
+            if raw:
+                try:
+                    max_mb = float(raw)
+                except ValueError:
+                    max_mb = None
+        self.max_mb = max_mb if max_mb and max_mb > 0 else None
+        self._stores_since_gc = 0
+        try:
+            self.objects_dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            self.disabled = True
+            self.stats.write_errors += 1
+            self._event("write_error", "mkdir")
         self._index: Dict[str, str] = self._load_index()
         self._index_dirty = False
 
@@ -563,20 +624,103 @@ class ObligationCache:
             return {}
 
     def flush(self) -> None:
-        """Persist the identity index (atomic write)."""
-        if not self._index_dirty:
-            return
-        payload = {
-            _INDEX_SCHEMA_KEY: RCACHE_SCHEMA,
-            "identities": dict(sorted(self._index.items())),
-        }
-        self._atomic_write(self.index_path, json.dumps(payload, indent=0))
-        self._index_dirty = False
+        """Persist the identity index (atomic write, advisory lock).
 
-    def _atomic_write(self, path: Path, text: str) -> None:
+        The on-disk index is re-read and merged under the lock (our
+        entries win) so two daemons sharing the directory union their
+        identity maps instead of clobbering each other. A failed write
+        leaves the index dirty (a later flush retries) and counts a
+        ``write_error``; an unobtainable lock skips this flush entirely —
+        the index is attribution bookkeeping, never verdicts.
+        """
+        if not self._index_dirty or self.disabled:
+            return
+        lock = self._acquire_lock()
+        if lock is None and fcntl is not None:
+            self.lock_timeouts += 1
+            return
+        try:
+            merged = self._load_index()
+            merged.update(self._index)
+            self._index = merged
+            payload = {
+                _INDEX_SCHEMA_KEY: RCACHE_SCHEMA,
+                "identities": dict(sorted(self._index.items())),
+            }
+            try:
+                self._atomic_write(
+                    self.index_path,
+                    json.dumps(payload, indent=0),
+                    fault_key="rcache.index",
+                )
+            except OSError:
+                self.stats.write_errors += 1
+                self._event("write_error", "index")
+                return
+            self._index_dirty = False
+        finally:
+            self._release_lock(lock)
+
+    def _acquire_lock(self, timeout: float = 2.0):
+        """Advisory inter-process lock on the cache dir, or ``None``.
+
+        Best-effort by design: platforms without ``fcntl`` (or a lock
+        file that cannot even be opened) proceed unlocked — the atomic
+        rename still prevents torn files, locking only prevents lost
+        index merges between concurrent daemons.
+        """
+        if fcntl is None:
+            return None
+        try:
+            handle = open(self.lock_path, "a+")
+        except OSError:
+            return None
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                fcntl.flock(handle, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return handle
+            except OSError:
+                if time.monotonic() >= deadline:
+                    handle.close()
+                    return None
+                time.sleep(0.02)
+
+    def _release_lock(self, handle) -> None:
+        if handle is None:
+            return
+        try:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+        except OSError:
+            pass
+        handle.close()
+
+    def _atomic_write(
+        self, path: Path, text: str, fault_key: Optional[str] = None
+    ) -> None:
+        if fault_key is not None:
+            mode = faults.maybe_fs_fault(fault_key)
+            if mode == "torn":
+                # A torn write damages the *final* path before failing —
+                # the worst case the read side must absorb (it does:
+                # undecodable entries are misses).
+                try:
+                    path.write_text(text[: max(1, len(text) // 2)])
+                except OSError:
+                    pass
+                raise faults.fs_error(mode, str(path))
+            if mode is not None:
+                raise faults.fs_error(mode, str(path))
         tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(text)
-        os.replace(tmp, path)
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
 
     # ------------------------------------------------------------------ #
     # Lookup / store
@@ -605,6 +749,12 @@ class ObligationCache:
         if entry is not None:
             self.stats.hits += 1
             self._event("hit", key, fingerprint)
+            try:
+                # Refresh mtime so quota GC evicts least-recently-*used*,
+                # not least-recently-written. Best-effort.
+                os.utime(self.objects_dir / f"{fingerprint}.json")
+            except OSError:
+                pass
             return entry
         known = self._index.get(identity)
         if known is not None and known != fingerprint:
@@ -649,12 +799,18 @@ class ObligationCache:
         Only genuine verdicts are stored: skipped, timed-out, crashed,
         resumed-from-journal, and cache-hit outcomes are not (the first
         three must re-attempt; the last two are already on disk).
+
+        A disk failure (``ENOSPC``/``EIO``/permissions) never propagates:
+        the entry degrades to a future miss, ``stats.write_errors``
+        counts it, and a ``write_error`` event marks the key — the verify
+        run itself is unaffected.
         """
         result = getattr(outcome, "result", None)
         if (
             result is None
             or getattr(outcome, "resumed", False)
             or getattr(outcome, "cached", False)
+            or self.disabled
         ):
             return False
         record = {
@@ -672,18 +828,103 @@ class ObligationCache:
                 else None
             ),
         }
-        self._atomic_write(
-            self.objects_dir / f"{fingerprint}.json", json.dumps(record)
-        )
+        try:
+            self._atomic_write(
+                self.objects_dir / f"{fingerprint}.json",
+                json.dumps(record),
+                fault_key="rcache.store",
+            )
+        except OSError:
+            self.stats.write_errors += 1
+            self._event("write_error", key, fingerprint)
+            return False
         self._index[identity] = fingerprint
         self._index_dirty = True
         self.stats.stores += 1
         self._event("store", key, fingerprint)
+        if self.max_mb is not None:
+            self._stores_since_gc += 1
+            if self._stores_since_gc >= _GC_EVERY:
+                self.gc()
         return True
+
+    # ------------------------------------------------------------------ #
+    # Quota / GC
+    # ------------------------------------------------------------------ #
+
+    def size_info(self) -> Dict[str, object]:
+        """On-disk footprint: entry count, bytes, and the quota (if any)."""
+        entries = 0
+        total = 0
+        try:
+            for path in self.objects_dir.glob("*.json"):
+                try:
+                    total += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    continue
+        except OSError:
+            pass
+        return {
+            "entries": entries,
+            "bytes": total,
+            "max_mb": self.max_mb,
+            "disabled": self.disabled,
+        }
+
+    def gc(self, max_mb: Optional[float] = None) -> Dict[str, int]:
+        """Evict least-recently-used entries until under the quota.
+
+        ``max_mb`` overrides the configured quota for this pass. Eviction
+        order is mtime (hits refresh it — see :meth:`lookup`), so warm
+        entries survive cold ones. Deleting an entry another process is
+        mid-read is safe: its read degrades to a miss. Returns
+        ``{"removed": n, "freed_bytes": b}``.
+        """
+        self._stores_since_gc = 0
+        limit = max_mb if max_mb is not None else self.max_mb
+        if limit is None or self.disabled:
+            return {"removed": 0, "freed_bytes": 0}
+        budget = int(limit * 1024 * 1024)
+        entries = []
+        total = 0
+        try:
+            candidates = list(self.objects_dir.glob("*.json"))
+        except OSError:
+            return {"removed": 0, "freed_bytes": 0}
+        for path in candidates:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        removed = 0
+        freed = 0
+        if total > budget:
+            self.stats.gc_runs += 1
+            lock = self._acquire_lock()
+            try:
+                for _, size, path in sorted(entries):
+                    if total - freed <= budget:
+                        break
+                    try:
+                        path.unlink()
+                    except OSError:
+                        continue
+                    removed += 1
+                    freed += size
+            finally:
+                self._release_lock(lock)
+            self.stats.gc_removed += removed
+        return {"removed": removed, "freed_bytes": freed}
 
     def __len__(self) -> int:
         """Entries on disk (cheap directory scan; tests and stats only)."""
-        return sum(1 for _ in self.objects_dir.glob("*.json"))
+        try:
+            return sum(1 for _ in self.objects_dir.glob("*.json"))
+        except OSError:
+            return 0
 
     def __repr__(self) -> str:
         return (

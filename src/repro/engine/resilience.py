@@ -116,9 +116,12 @@ class ResilienceEvent:
     (an obligation fell back to in-parent execution),
     ``degrade-run`` (the whole run fell back to the serial backend),
     ``parent-timeout`` (the parent-side backstop expired for a wedged
-    worker), and ``interrupted``. Schedulers record these
-    unconditionally — they cost one list append — so attaching a tracer
-    never changes recovery decisions (the no-perturbation guarantee).
+    worker), ``interrupted``, and ``journal-write-error`` (a checkpoint
+    append failed on disk and the journal degraded to no-checkpoint —
+    appended by ``discharge()`` after the run, not by a scheduler).
+    Schedulers record these unconditionally — they cost one list
+    append — so attaching a tracer never changes recovery decisions (the
+    no-perturbation guarantee).
     """
 
     kind: str

@@ -15,9 +15,15 @@ three knobs an operator sets per deployment:
     Bounded admission-queue depth (default ``16``). A POST arriving with
     the queue full is refused with ``429`` and a ``Retry-After`` hint —
     backpressure instead of unbounded buffering.
+``REPRO_SERVE_SANDBOX``
+    ``1``/``true``/``yes`` runs every job in the supervised subprocess
+    sandbox (:mod:`repro.serve.executor`) instead of on the in-process
+    worker thread. Off by default: in-process is faster and is what
+    embedded tests (which install process-global fault injectors) need;
+    the sandbox is the production posture.
 
-Everything else (state directory, default budgets, scheduler jobs) is
-flag-only; see ``repro serve --help``.
+Everything else (state directory, default budgets, scheduler jobs,
+sandbox limits) is flag-only; see ``repro serve --help``.
 """
 
 from __future__ import annotations
@@ -56,6 +62,11 @@ class ServeConfig:
     default — per-job budgets with an operator ceiling.
     ``drain_grace`` bounds how long a SIGTERM waits for the in-flight
     job to salvage itself before the process exits anyway.
+
+    The ``sandbox_*`` fields configure the crash-isolation layer
+    (:mod:`repro.serve.executor`): subprocess rlimits, the heartbeat
+    watchdog, respawn/breaker bounds, and the optional in-process
+    fallback. They only apply when ``sandbox`` is on.
     """
 
     host: str = DEFAULT_HOST
@@ -66,12 +77,35 @@ class ServeConfig:
     timeout_per_obligation: Optional[float] = None
     jobs: Optional[int] = None
     drain_grace: float = 5.0
+    sandbox: bool = False
+    sandbox_max_rss_mb: Optional[int] = None
+    sandbox_cpu_seconds: Optional[int] = None
+    sandbox_recycle_after: int = 64
+    sandbox_heartbeat_grace: float = 20.0
+    sandbox_max_respawns: int = 2
+    sandbox_breaker_threshold: int = 2
+    sandbox_fallback: bool = False
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {self.queue_depth}")
         if not (0 <= self.port <= 65535):
             raise ValueError(f"port must be in [0, 65535], got {self.port}")
+        if self.sandbox_recycle_after < 1:
+            raise ValueError(
+                f"sandbox_recycle_after must be >= 1, "
+                f"got {self.sandbox_recycle_after}"
+            )
+        if self.sandbox_max_respawns < 0:
+            raise ValueError(
+                f"sandbox_max_respawns must be >= 0, "
+                f"got {self.sandbox_max_respawns}"
+            )
+        if self.sandbox_breaker_threshold < 1:
+            raise ValueError(
+                f"sandbox_breaker_threshold must be >= 1, "
+                f"got {self.sandbox_breaker_threshold}"
+            )
 
     @classmethod
     def from_env(
@@ -96,5 +130,8 @@ class ServeConfig:
             resolved["queue_depth"] = (
                 DEFAULT_QUEUE_DEPTH if env_depth is None else env_depth
             )
+        if resolved.get("sandbox") is None:
+            raw = environ.get("REPRO_SERVE_SANDBOX", "")
+            resolved["sandbox"] = raw.strip().lower() in ("1", "true", "yes")
         resolved = {k: v for k, v in resolved.items() if v is not None}
         return cls(**resolved)

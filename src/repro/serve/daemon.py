@@ -11,6 +11,17 @@ the :class:`~repro.engine.warm.WarmState` memo maps are
 single-threaded structures, and one-at-a-time execution is exactly what
 keeps them coherent *and* hot.
 
+With ``--sandbox`` the worker thread stops *executing* and starts
+*supervising*: each job runs inside the subprocess sandbox of
+:mod:`repro.serve.executor` (rlimits, heartbeat watchdog, respawn →
+circuit breaker → optional in-process fallback), so a hard crash — a
+segfault, an OOM kill, ``SIGKILL`` of the sandbox itself — costs one
+worker respawn, never the daemon. Both modes share the same execution
+path (:func:`~repro.serve.executor.run_request`); the trade is the
+sandbox's serialization overhead against in-process memo reuse, and
+the benchmark (``benchmarks/bench_serve.py --sandbox-overhead``) keeps
+that trade honest.
+
 Progress streams out live: the worker attaches a
 :class:`~repro.obs.stream.StreamingTracer` whose publish callback hops
 spans back onto the loop (``call_soon_threadsafe``) into a per-job
@@ -44,6 +55,13 @@ from typing import Dict, List, Optional
 from ..engine.warm import WarmState
 from ..obs.stream import StreamingTracer, sse_event
 from .config import ServeConfig
+from .executor import (
+    SandboxConfig,
+    SandboxCrashed,
+    SandboxExecutor,
+    crashed_payload,
+    run_request,
+)
 from .http import (
     EventStreamResponse,
     HttpError,
@@ -55,15 +73,17 @@ from .jobs import Job, JobRequest, JobStore, StaleJobStoreError
 
 __all__ = ["EventChannel", "ServeDaemon"]
 
-HEALTH_SCHEMA = "repro.serve/healthz/v1"
+HEALTH_SCHEMA = "repro.serve/healthz/v2"
 
 #: Fallback per-job duration estimate (seconds) before the EWMA has any
 #: samples — only used to size the 429 Retry-After hint.
 INITIAL_JOB_ESTIMATE = 2.0
 EWMA_ALPHA = 0.3
 
-#: Terminal job states; everything else is restart backlog.
-FINISHED_STATES = ("done", "failed")
+#: Terminal job states; everything else is restart backlog. ``crashed``
+#: is terminal by design: the circuit breaker already decided retrying
+#: is a loop, so a restart must not resurrect the loop.
+FINISHED_STATES = ("done", "failed", "crashed")
 
 
 class EventChannel:
@@ -135,6 +155,28 @@ class ServeDaemon:
 
             rcache = ObligationCache(self.state_dir / "rcache")
         self.warm = WarmState(rcache=rcache)
+        self.executor: Optional[SandboxExecutor] = None
+        if config.sandbox:
+            self.executor = SandboxExecutor(
+                SandboxConfig(
+                    max_rss_mb=config.sandbox_max_rss_mb,
+                    cpu_seconds=config.sandbox_cpu_seconds,
+                    recycle_after=config.sandbox_recycle_after,
+                    heartbeat_grace=config.sandbox_heartbeat_grace,
+                    max_respawns=config.sandbox_max_respawns,
+                    breaker_threshold=config.sandbox_breaker_threshold,
+                ),
+                state_dir=self.state_dir,
+            )
+        #: Lifetime outcome counters (jobs this process finished, by
+        #: outcome — distinct from the by-status snapshot in /healthz's
+        #: ``jobs``, which includes restored history and the backlog).
+        self.counters: Dict[str, int] = {
+            "executed": 0,
+            "failed": 0,
+            "crashed": 0,
+            "interrupted": 0,
+        }
         self.jobs: Dict[str, Job] = {}
         self.order: List[str] = []
         self.channels: Dict[str, EventChannel] = {}
@@ -184,6 +226,8 @@ class ServeDaemon:
             server.close()
             await server.wait_closed()
             await self._drain(worker)
+            if self.executor is not None:
+                self.executor.shutdown()
             if self.store is not None:
                 self.store.close()
             print("repro-serve: drained, exiting", flush=True)
@@ -330,6 +374,14 @@ class ServeDaemon:
         counts: Dict[str, int] = {}
         for job in self.jobs.values():
             counts[job.status] = counts.get(job.status, 0) + 1
+        sandbox = (
+            self.executor.describe()
+            if self.executor is not None
+            else {"enabled": False}
+        )
+        rcache_stats = None
+        if self.warm.rcache is not None:
+            rcache_stats = self.warm.rcache.stats.snapshot()
         return json_response(
             {
                 "schema": HEALTH_SCHEMA,
@@ -340,6 +392,14 @@ class ServeDaemon:
                     "capacity": self.config.queue_depth,
                 },
                 "jobs": counts,
+                "counters": dict(self.counters),
+                "sandbox": sandbox,
+                "store": {
+                    "write_errors": (
+                        self.store.write_errors if self.store is not None else 0
+                    ),
+                },
+                "rcache": rcache_stats,
                 "warm": self.warm.describe(),
             }
         )
@@ -513,16 +573,28 @@ class ServeDaemon:
         ):
             job.status = "interrupted"
             job.result = result
+            self.counters["interrupted"] += 1
             if self.store is not None:
                 self.store.record("interrupted", job)
         elif "error" in outcome:
             job.status = "failed"
             job.error = outcome["error"]
+            self.counters["failed"] += 1
+            if self.store is not None:
+                self.store.record("finished", job)
+        elif result is not None and result.get("status") == "CRASHED":
+            # The sandbox breaker spoke: terminal, typed, journaled like
+            # any other finished job (a restart must not retry the loop).
+            job.status = "crashed"
+            job.result = result
+            job.error = result.get("error")
+            self.counters["crashed"] += 1
             if self.store is not None:
                 self.store.record("finished", job)
         else:
             job.status = "done"
             job.result = result
+            self.counters["executed"] += 1
             if self.store is not None:
                 self.store.record("finished", job)
             if job.elapsed is not None:
@@ -575,145 +647,47 @@ class ServeDaemon:
         return ResilienceConfig(**kwargs)
 
     def _execute(self, job: Job, publish_span) -> dict:
+        """One job, either isolation level (runs on the worker thread).
+
+        Sandbox mode delegates to the supervisor and converts an
+        exhausted degradation ladder into either the flagged in-process
+        fallback or a typed ``CRASHED`` payload. A
+        :class:`~repro.serve.executor.SandboxJobError` propagates — the
+        job failed, the service is fine — and lands in the generic
+        error path of ``work()``.
+        """
         request = job.request
+        budgets = self._budgets(request)
+        resilience = self._resilience(request)
+        if self.executor is not None:
+            try:
+                return self.executor.execute(
+                    job.id, request, budgets, resilience, publish_span
+                )
+            except SandboxCrashed as crash:
+                if not self.config.sandbox_fallback:
+                    return crashed_payload(request, crash)
+                payload = self._run_inprocess(
+                    job, request, budgets, resilience, publish_span
+                )
+                payload["sandbox"] = {
+                    "mode": "inprocess-fallback",
+                    "crashes": crash.crashes,
+                    "detail": crash.detail,
+                }
+                return payload
+        return self._run_inprocess(
+            job, request, budgets, resilience, publish_span
+        )
+
+    def _run_inprocess(
+        self, job: Job, request: JobRequest, budgets, resilience, publish_span
+    ) -> dict:
         tracer = StreamingTracer(publish_span)
         tracer.meta["job"] = job.id
-        budgets = self._budgets(request)
-        rcache_before = None
-        if self.warm.rcache is not None:
-            rcache_before = self.warm.rcache.stats.snapshot()
-        started = time.perf_counter()
-        if request.kind == "verify":
-            payload = self._execute_verify(request, tracer, budgets)
-        elif request.kind == "table1":
-            payload = self._execute_table1(request, tracer, budgets)
-        else:
-            payload = self._execute_explain(request)
-        payload["seconds"] = round(time.perf_counter() - started, 6)
-        if budgets["clamped"]:
-            payload["budget_clamped"] = {
-                "requested_max_configs": request.max_configs,
-                "applied_max_configs": budgets["max_configs"],
-            }
-        if self.warm.rcache is not None:
-            payload["rcache"] = self.warm.rcache.stats.delta(rcache_before)
-        payload["warm"] = self.warm.stats.snapshot()
-        return payload
-
-    def _execute_verify(
-        self, request: JobRequest, tracer, budgets: dict
-    ) -> dict:
-        from ..protocols import ALL_PROTOCOLS
-
-        module = ALL_PROTOCOLS[request.protocol]
-        kwargs = {
-            key: list(value) if isinstance(value, tuple) else value
-            for key, value in request.params
-        }
-        if request.ground_truth is not None:
-            kwargs["ground_truth"] = request.ground_truth
-        report = module.verify(
-            max_configs=budgets["max_configs"],
-            jobs=budgets["jobs"],
-            fail_fast=request.fail_fast,
-            tracer=tracer,
-            resilience=self._resilience(request),
-            warm=self.warm,
-            **kwargs,
+        return run_request(
+            request, self.warm, budgets, resilience=resilience, tracer=tracer
         )
-        return self._report_payload(report)
-
-    def _execute_table1(
-        self, request: JobRequest, tracer, budgets: dict
-    ) -> dict:
-        from ..analysis.table1 import build_table1
-
-        rows = build_table1(
-            max_configs=budgets["max_configs"],
-            jobs=budgets["jobs"],
-            fail_fast=request.fail_fast,
-            tracer=tracer,
-            resilience=self._resilience(request),
-            warm=self.warm,
-        )
-        reports = [row.report for row in rows if row.report is not None]
-        payload = {
-            "kind": "table1",
-            "ok": all(row.ok for row in rows),
-            "status": (
-                "INTERRUPTED"
-                if any(r.interrupted for r in reports)
-                else ("OK" if all(row.ok for row in rows) else "FAILED")
-            ),
-            "rows": [
-                {
-                    "example": row.example,
-                    "status": row.status,
-                    "ok": row.ok,
-                    "bounded": row.bounded,
-                    "num_is": row.num_is,
-                    "seconds": round(row.time_seconds, 6),
-                }
-                for row in rows
-            ],
-        }
-        payload["obligations"] = self._obligation_split(reports)
-        return payload
-
-    def _execute_explain(self, request: JobRequest) -> dict:
-        from ..diagnose import explain_fixture
-        from ..obs.export import failure_payload
-
-        explanation = explain_fixture(request.fixture, jobs=request.jobs)
-        return {
-            "kind": "explain",
-            "ok": explanation.all_confirmed,
-            "status": "OK" if explanation.all_confirmed else "FAILED",
-            "report": failure_payload(explanation),
-        }
-
-    def _report_payload(self, report) -> dict:
-        payload = {
-            "kind": "verify",
-            "protocol": report.name,
-            "parameters": dict(report.parameters),
-            "ok": report.ok,
-            "status": report.status,
-            "bounded": report.bounded,
-            "summary": report.summary(),
-            "timings": {
-                k: round(v, 6) for k, v in report.timings.items()
-            },
-            "is_checks": [
-                {
-                    "label": label,
-                    "holds": result.holds,
-                    "checked": result.total_checked,
-                }
-                for label, result in report.is_results
-            ],
-            "obligations": self._obligation_split([report]),
-        }
-        if report.budget is not None:
-            payload["budget"] = str(report.budget)
-        if report.interrupted:
-            payload["interrupted"] = True
-        return payload
-
-    @staticmethod
-    def _obligation_split(reports) -> dict:
-        total = cached = resumed = 0
-        for report in reports:
-            for _label, result in report.is_results:
-                total += result.num_obligations
-                cached += len(result.cached_keys)
-                resumed += len(result.resumed_keys)
-        return {
-            "total": total,
-            "executed": total - cached - resumed,
-            "cached": cached,
-            "resumed": resumed,
-        }
 
 
 def run_daemon(config: ServeConfig) -> int:

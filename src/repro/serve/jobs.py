@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from ..engine import faults
+
 __all__ = [
     "JOBS_SCHEMA",
     "JOB_KINDS",
@@ -222,11 +224,24 @@ class JobStore:
     (carries the result payload), ``interrupted``. :meth:`load` folds
     the events newest-wins into per-job state; jobs whose latest event
     is not ``finished`` are the restart backlog.
+
+    Disk faults degrade, never abort: a failed append counts in
+    ``write_errors`` and closes the handle, and the *next* record
+    retries a reopen (a long-lived daemon should resume journaling once
+    disk pressure clears — unlike the engine journal, which latches off
+    for the remainder of its single run). Reopening repairs an
+    unterminated tail (the torn half-record a failed append may have
+    left) by appending a newline, so the damaged line is isolated
+    instead of fusing with the next record.
     """
 
     def __init__(self, path) -> None:
         self.path = Path(path)
         self._handle = None
+        self._opened = False
+        #: Failed appends, each degraded to a lost journal record (the
+        #: in-memory job state is unaffected; /healthz surfaces these).
+        self.write_errors = 0
 
     # -------------------------------------------------------------- #
     # Loading
@@ -237,10 +252,11 @@ class JobStore:
         """Replay a journal into ``(jobs, raw_events)``, in submit order.
 
         Raises :class:`StaleJobStoreError` when the header is missing or
-        belongs to another schema. Torn tails and records whose embedded
-        request no longer matches their recorded fingerprint are dropped
-        — the guard that a half-written or hand-edited record can
-        resurrect the wrong job.
+        belongs to another schema. Undecodable lines and records whose
+        embedded request no longer matches their recorded fingerprint
+        are dropped *individually* — every record carries its own
+        fingerprint guard, so a line torn by a mid-file disk fault (or a
+        hand-edit) only loses itself, never the jobs journaled after it.
         """
         path = Path(path)
         raw_lines = path.read_bytes().splitlines()
@@ -264,7 +280,8 @@ class JobStore:
                 event = record["event"]
                 job_id = record["id"]
             except Exception:
-                break  # torn tail: trust nothing after the first bad line
+                continue  # torn/damaged line: drop it, records are
+                # individually fingerprint-guarded below
             if event == "submitted":
                 try:
                     request = JobRequest.from_payload(record["request"])
@@ -306,12 +323,35 @@ class JobStore:
     def open(self, fresh: bool = False) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         mode = "w" if fresh or not self.path.exists() else "a"
+        if mode == "a":
+            self._repair_tail()
         self._handle = open(self.path, mode, encoding="utf-8")
+        self._opened = True
         if mode == "w":
             self._append({"schema": JOBS_SCHEMA})
             self.sync()
 
-    def record(self, event: str, job: Job, **extra) -> None:
+    def _repair_tail(self) -> None:
+        """Terminate an unterminated final line (torn by a failed append)
+        so the next record starts on its own line. Best-effort."""
+        try:
+            with open(self.path, "rb+") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+        except OSError:
+            pass
+
+    def record(self, event: str, job: Job, **extra) -> bool:
+        """Append one lifecycle event; False when the disk refused it.
+
+        A failed write closes the handle; the next call retries a
+        reopen, so journaling resumes once transient disk pressure
+        (ENOSPC, EIO) clears.
+        """
         payload: Dict[str, object] = {
             "event": event,
             "id": job.id,
@@ -328,16 +368,36 @@ class JobStore:
             if job.error is not None:
                 payload["error"] = job.error
         payload.update(extra)
-        self._append(payload)
-        if event in ("finished", "interrupted"):
-            self.sync()
-        else:
-            self._handle.flush()
+        try:
+            if self._handle is None:
+                if not self._opened:
+                    raise RuntimeError("job store is closed")
+                self.open()
+            self._append(payload)
+            if event in ("finished", "interrupted"):
+                self.sync()
+            else:
+                self._handle.flush()
+        except OSError:
+            self.write_errors += 1
+            self._close_quietly()
+            return False
+        return True
 
     def _append(self, payload: dict) -> None:
         if self._handle is None:
             raise RuntimeError("job store is closed")
-        self._handle.write(json.dumps(payload) + "\n")
+        text = json.dumps(payload) + "\n"
+        mode = faults.maybe_fs_fault("jobs.append")
+        if mode is not None:
+            if mode == "torn":
+                try:
+                    self._handle.write(text[: max(1, len(text) // 2)])
+                    self._handle.flush()
+                except OSError:
+                    pass
+            raise faults.fs_error(mode, str(self.path))
+        self._handle.write(text)
 
     def sync(self) -> None:
         if self._handle is None:
@@ -345,8 +405,18 @@ class JobStore:
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
+    def _close_quietly(self) -> None:
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
+
     def close(self) -> None:
         if self._handle is not None:
-            self.sync()
-            self._handle.close()
-            self._handle = None
+            try:
+                self.sync()
+            except OSError:
+                self.write_errors += 1
+            self._close_quietly()

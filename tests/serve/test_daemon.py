@@ -67,7 +67,7 @@ class DaemonHarness:
         deadline = time.time() + timeout
         while time.time() < deadline:
             _status, detail = self.get(f"/jobs/{job_id}")
-            if detail["status"] in ("done", "failed", "interrupted"):
+            if detail["status"] in ("done", "failed", "crashed", "interrupted"):
                 return detail
             time.sleep(0.02)
         raise AssertionError(f"job {job_id} still {detail['status']!r}")

@@ -47,7 +47,18 @@ def test_expected_jobs_exist(workflow):
         "incremental-verification",
         "serve-smoke",
         "explain-artifact",
+        "chaos-soak",
     }
+
+
+def test_every_job_is_timeout_bounded(workflow):
+    """A hung runner bills by the minute and blocks the queue; every
+    job — not just the fault-injecting ones — must carry a sane
+    ``timeout-minutes``."""
+    for name, job in workflow["jobs"].items():
+        minutes = job.get("timeout-minutes")
+        assert minutes is not None, f"{name}: missing timeout-minutes"
+        assert 0 < minutes <= 30, f"{name}: timeout-minutes {minutes}"
 
 
 def test_every_action_is_version_pinned(workflow):
@@ -133,7 +144,13 @@ def test_bench_smoke_guards_representation_attribution(workflow):
 
 @pytest.mark.parametrize(
     "job",
-    ["trace-artifact", "fault-injection", "serve-smoke", "explain-artifact"],
+    [
+        "trace-artifact",
+        "fault-injection",
+        "serve-smoke",
+        "explain-artifact",
+        "chaos-soak",
+    ],
 )
 def test_artifact_upload_requires_files(workflow, job):
     uploads = [
@@ -201,6 +218,27 @@ def test_incremental_verification_job_proves_cache_reuse(workflow):
 
     partial = verify_cmds[2]
     assert "0 < executed < total" in partial
+
+
+def test_chaos_soak_job_is_seeded_and_gated(workflow):
+    """The chaos job must run the soak with a pinned ``--seed`` (a CI
+    failure has to replay locally), write the event-log artifact, and
+    hold the sandbox isolation overhead to the recorded ≤15% gate."""
+    job = workflow["jobs"]["chaos-soak"]
+    commands = [step["run"] for step in job["steps"] if "run" in step]
+    soak = next(cmd for cmd in commands if "chaos_soak.py" in cmd)
+    assert "--seed" in soak
+    assert "chaos-events.jsonl" in soak
+    assert (ROOT / "benchmarks" / "chaos_soak.py").exists()
+    overhead = next(cmd for cmd in commands if "--sandbox-overhead" in cmd)
+    assert "set -o pipefail" in overhead
+    # The committed benchmark already satisfies what CI re-measures.
+    import json
+
+    recorded = json.loads((ROOT / "BENCH_obligations.json").read_text())
+    sandbox = recorded["sandbox"]
+    assert sandbox["overhead_fraction"] <= sandbox["gate_max_fraction"]
+    assert sandbox["verdict"] is True
 
 
 def test_every_job_caches_pip_and_tox_environments(workflow):
